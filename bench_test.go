@@ -1,0 +1,197 @@
+package uagpnm
+
+// This file regenerates every table and figure of the paper's evaluation
+// (§VII) as testing.B benchmarks over the mini dataset replicas, one
+// benchmark family per artifact:
+//
+//	BenchmarkTableXI   — avg query time per dataset per method
+//	BenchmarkTableXIII — avg query time per ΔG scale per method
+//	BenchmarkFig5..9   — the per-dataset series (pattern size (8,8);
+//	                     the full five-size grid runs via cmd/gpnm-bench)
+//
+// Tables XII and XIV are ratios of XI and XIII respectively: divide the
+// UA-GPNM ns/op by each baseline's ns/op. cmd/gpnm-bench prints all four
+// tables and all five figures directly, at mini or at reproduction (sim)
+// scale; see EXPERIMENTS.md for recorded results and the comparison
+// against the paper's numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"uagpnm/internal/bench"
+	"uagpnm/internal/core"
+	"uagpnm/internal/datasets"
+	"uagpnm/internal/patgen"
+	"uagpnm/internal/updates"
+)
+
+const benchHorizon = 3
+
+var benchPatternSize = [2]int{8, 8}
+
+// benchState caches one base session per (dataset, method): the graph,
+// the built SLen substrate, and the IQuery match. Benchmark iterations
+// fork it and process one batch.
+type benchState struct {
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	graphs   map[string]*graphAndPattern
+}
+
+type graphAndPattern struct {
+	g *Graph
+	p *Pattern
+}
+
+var state = benchState{
+	sessions: map[string]*core.Session{},
+	graphs:   map[string]*graphAndPattern{},
+}
+
+func baseSession(b *testing.B, spec datasets.Spec, m core.Method) (*core.Session, *graphAndPattern) {
+	b.Helper()
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	gp, ok := state.graphs[spec.Name]
+	if !ok {
+		g := datasets.GenerateSocial(spec.SocialConfig)
+		p := patgen.Generate(patgen.Config{
+			Nodes: benchPatternSize[0], Edges: benchPatternSize[1],
+			BoundMin: 1, BoundMax: benchHorizon,
+			Seed: 42, Labels: patgen.LabelsOf(g),
+		}, g.Labels())
+		gp = &graphAndPattern{g: g, p: p}
+		state.graphs[spec.Name] = gp
+	}
+	key := spec.Name + "/" + m.String()
+	s, ok := state.sessions[key]
+	if !ok {
+		s = core.NewSession(gp.g.Clone(), gp.p.Clone(), core.Config{Method: m, Horizon: benchHorizon})
+		state.sessions[key] = s
+	}
+	return s, gp
+}
+
+// benchCell measures one (dataset, scale, method) cell: each iteration
+// forks the base session and processes the same pre-generated batch.
+func benchCell(b *testing.B, spec datasets.Spec, scale [2]int, m core.Method) {
+	b.Helper()
+	base, gp := baseSession(b, spec, m)
+	batch := updates.Generate(updates.Balanced(7, scale[0], scale[1]), gp.g, gp.p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := base.Fork()
+		b.StartTimer()
+		s.SQuery(batch)
+	}
+}
+
+func benchDataset(b *testing.B, name string, scale [2]int) {
+	spec, ok := datasets.ByName(datasets.Mini(), name)
+	if !ok {
+		b.Fatalf("unknown dataset %s", name)
+	}
+	for _, m := range bench.ComparedMethods {
+		m := m
+		b.Run(m.String(), func(b *testing.B) { benchCell(b, spec, scale, m) })
+	}
+}
+
+// BenchmarkTableXI regenerates Table XI (average query time per dataset):
+// one sub-benchmark per dataset per method at the mid ΔG scale.
+func BenchmarkTableXI(b *testing.B) {
+	for _, spec := range datasets.Mini() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			benchDataset(b, spec.Name, bench.MiniScales[2])
+		})
+	}
+}
+
+// BenchmarkTableXIII regenerates Table XIII (average query time per ΔG
+// scale): one sub-benchmark per scale per method on the DBLP replica.
+func BenchmarkTableXIII(b *testing.B) {
+	spec, _ := datasets.ByName(datasets.Mini(), "DBLP")
+	for _, scale := range bench.MiniScales {
+		scale := scale
+		b.Run(scaleName(scale), func(b *testing.B) {
+			for _, m := range bench.ComparedMethods {
+				m := m
+				b.Run(m.String(), func(b *testing.B) { benchCell(b, spec, scale, m) })
+			}
+		})
+	}
+}
+
+func scaleName(scale [2]int) string {
+	return "dG(" + itoa(scale[0]) + "," + itoa(scale[1]) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// benchFigure regenerates one of Figs. 5–9: the four methods across all
+// five ΔG scales for one dataset.
+func benchFigure(b *testing.B, dataset string) {
+	spec, ok := datasets.ByName(datasets.Mini(), dataset)
+	if !ok {
+		b.Fatalf("unknown dataset %s", dataset)
+	}
+	for _, scale := range bench.MiniScales {
+		scale := scale
+		b.Run(scaleName(scale), func(b *testing.B) {
+			for _, m := range bench.ComparedMethods {
+				m := m
+				b.Run(m.String(), func(b *testing.B) { benchCell(b, spec, scale, m) })
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates the email-EU-core series (paper Fig. 5).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "email-EU-core") }
+
+// BenchmarkFig6 regenerates the DBLP series (paper Fig. 6).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "DBLP") }
+
+// BenchmarkFig7 regenerates the Amazon series (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "Amazon") }
+
+// BenchmarkFig8 regenerates the Youtube series (paper Fig. 8).
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "Youtube") }
+
+// BenchmarkFig9 regenerates the LiveJournal series (paper Fig. 9).
+func BenchmarkFig9(b *testing.B) { benchFigure(b, "LiveJournal") }
+
+// BenchmarkIQuery measures the initial query (engine build + matching
+// fixpoint) per method on the DBLP replica — the cost the incremental
+// methods amortise away.
+func BenchmarkIQuery(b *testing.B) {
+	spec, _ := datasets.ByName(datasets.Mini(), "DBLP")
+	g := datasets.GenerateSocial(spec.SocialConfig)
+	p := patgen.Generate(patgen.Config{
+		Nodes: 8, Edges: 8, BoundMin: 1, BoundMax: 3, Seed: 42,
+		Labels: patgen.LabelsOf(g),
+	}, g.Labels())
+	for _, m := range []core.Method{core.UAGPNMNoPar, core.UAGPNM} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewSession(g.Clone(), p.Clone(), core.Config{Method: m, Horizon: 3})
+			}
+		})
+	}
+}

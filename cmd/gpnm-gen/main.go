@@ -1,0 +1,130 @@
+// Command gpnm-gen generates synthetic evaluation inputs: a social data
+// graph (edge list + label file), a random pattern, and optionally an
+// update script — everything cmd/gpnm consumes.
+//
+// Usage:
+//
+//	gpnm-gen -preset DBLP -out dblp              # one of the five stand-ins
+//	gpnm-gen -nodes 5000 -edges 20000 -labels 12 -homophily 0.95 -out my
+//	gpnm-gen -preset DBLP -mini -pattern-nodes 8 -updates 6,200 -out x
+//
+// Writes <out>.edges, <out>.labels, <out>.pattern and (with -updates)
+// <out>.updates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uagpnm"
+	"uagpnm/internal/datasets"
+	"uagpnm/internal/updates"
+)
+
+func main() {
+	preset := flag.String("preset", "", "dataset preset: email-EU-core | DBLP | Amazon | Youtube | LiveJournal")
+	mini := flag.Bool("mini", false, "use the mini (quick) preset scale")
+	nodes := flag.Int("nodes", 2000, "nodes (custom config)")
+	edges := flag.Int("edges", 8000, "edges (custom config)")
+	labels := flag.Int("labels", 10, "distinct labels (custom config)")
+	homophily := flag.Float64("homophily", 0.95, "intra-label edge fraction")
+	prefAtt := flag.Float64("prefatt", 0.6, "preferential attachment probability")
+	seed := flag.Int64("seed", 1, "generator seed")
+	patternNodes := flag.Int("pattern-nodes", 8, "pattern nodes")
+	patternEdges := flag.Int("pattern-edges", 8, "pattern edges")
+	updateScale := flag.String("updates", "", "optional update batch scale \"p,d\" (e.g. 6,200)")
+	out := flag.String("out", "dataset", "output file prefix")
+	flag.Parse()
+
+	cfg := uagpnm.SocialGraphConfig{
+		Name: "custom", Nodes: *nodes, Edges: *edges, Labels: *labels,
+		Homophily: *homophily, PrefAtt: *prefAtt, Seed: *seed,
+	}
+	if *preset != "" {
+		specs := datasets.Sim()
+		if *mini {
+			specs = datasets.Mini()
+		}
+		spec, ok := datasets.ByName(specs, *preset)
+		if !ok {
+			fatalf("unknown preset %q", *preset)
+		}
+		cfg = spec.SocialConfig
+	}
+
+	g := uagpnm.GenerateSocialGraph(cfg)
+	writeTo(*out+".edges", func(f *os.File) error { return g.WriteEdgeList(f) })
+	writeTo(*out+".labels", func(f *os.File) error { return g.WriteLabels(f) })
+
+	p := uagpnm.GeneratePattern(uagpnm.PatternConfig{
+		Nodes: *patternNodes, Edges: *patternEdges,
+		BoundMin: 1, BoundMax: 3, Seed: *seed + 1,
+	}, g)
+	writeTo(*out+".pattern", func(f *os.File) error { return p.Format(f) })
+
+	fmt.Printf("%s: %d nodes, %d edges, %d labels → %s.edges/.labels/.pattern\n",
+		cfg.Name, g.NumNodes(), g.NumEdges(), g.Labels().Count(), *out)
+
+	if *updateScale != "" {
+		var pc, dc int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*updateScale, " ", ""), "%d,%d", &pc, &dc); err != nil {
+			fatalf("bad -updates %q (want p,d)", *updateScale)
+		}
+		batch := uagpnm.GenerateBatch(*seed+2, pc, dc, g, p)
+		writeTo(*out+".updates", func(f *os.File) error { return writeScript(f, batch) })
+		fmt.Printf("update batch: %d pattern + %d data updates → %s.updates\n",
+			len(batch.P), len(batch.D), *out)
+	}
+}
+
+// writeScript emits a batch in the ParseScript format.
+func writeScript(f *os.File, b uagpnm.Batch) error {
+	var sb strings.Builder
+	sb.WriteString("# generated update batch\n")
+	for _, u := range b.D {
+		switch u.Kind {
+		case updates.DataEdgeInsert:
+			fmt.Fprintf(&sb, "+e %d %d\n", u.From, u.To)
+		case updates.DataEdgeDelete:
+			fmt.Fprintf(&sb, "-e %d %d\n", u.From, u.To)
+		case updates.DataNodeInsert:
+			fmt.Fprintf(&sb, "+n %d %s\n", u.Node, strings.Join(u.Labels, ","))
+		case updates.DataNodeDelete:
+			fmt.Fprintf(&sb, "-n %d\n", u.Node)
+		}
+	}
+	for _, u := range b.P {
+		switch u.Kind {
+		case updates.PatternEdgeInsert:
+			fmt.Fprintf(&sb, "+pe %d %d %s\n", u.From, u.To, u.Bound)
+		case updates.PatternEdgeDelete:
+			fmt.Fprintf(&sb, "-pe %d %d\n", u.From, u.To)
+		case updates.PatternNodeInsert:
+			fmt.Fprintf(&sb, "+pn %d %s\n", u.Node, u.Labels[0])
+		case updates.PatternNodeDelete:
+			fmt.Fprintf(&sb, "-pn %d\n", u.Node)
+		}
+	}
+	_, err := f.WriteString(sb.String())
+	return err
+}
+
+func writeTo(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := fn(f); err != nil {
+		fatalf("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gpnm-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command gpnm answers GPNM queries from the command line: it loads a
+// data graph (SNAP edge list plus optional label file) and a pattern
+// (textual format), prints the initial node matching result, and — when
+// an update script is supplied — processes it with the selected method
+// and prints the subsequent result together with the elimination
+// statistics.
+//
+// Usage:
+//
+//	gpnm -graph g.txt [-labels g.labels] -pattern p.txt \
+//	     [-updates batch.txt] [-method UA-GPNM] [-horizon 3]
+//
+// The update script format is documented in internal/updates.ParseScript
+// (one "+e/-e/+n/-n/+pe/-pe/+pn/-pn" directive per line).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uagpnm"
+	"uagpnm/internal/core"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/updates"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "data graph edge list (SNAP format)")
+	labelsPath := flag.String("labels", "", "optional node label file")
+	patternPath := flag.String("pattern", "", "pattern graph (textual format)")
+	updatesPath := flag.String("updates", "", "optional update script to process as SQuery")
+	methodName := flag.String("method", "UA-GPNM", "Scratch | INC-GPNM | EH-GPNM | UA-GPNM-NoPar | UA-GPNM")
+	horizon := flag.Int("horizon", 0, "SLen hop cap (0 = exact distances)")
+	flag.Parse()
+
+	if *graphPath == "" || *patternPath == "" {
+		fmt.Fprintln(os.Stderr, "gpnm: -graph and -pattern are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	method, err := parseMethod(*methodName)
+	fatalIf(err)
+
+	gf, err := os.Open(*graphPath)
+	fatalIf(err)
+	g, err := uagpnm.LoadGraph(gf, "node")
+	gf.Close()
+	fatalIf(err)
+	if *labelsPath != "" {
+		lf, err := os.Open(*labelsPath)
+		fatalIf(err)
+		fatalIf(g.ApplyLabels(lf))
+		lf.Close()
+	}
+	pf, err := os.Open(*patternPath)
+	fatalIf(err)
+	p, err := uagpnm.ParsePattern(pf, g)
+	pf.Close()
+	fatalIf(err)
+
+	stats := g.ComputeStats()
+	fmt.Printf("graph: %d nodes, %d edges, %d labels\n", stats.Nodes, stats.Edges, stats.Labels)
+	fmt.Printf("pattern: %d nodes, %d edges (method %v)\n\n", p.NumNodes(), p.NumEdges(), method)
+
+	s := uagpnm.NewSession(g, p, uagpnm.Options{Method: method, Horizon: *horizon})
+	fmt.Println("IQuery result:")
+	printResult(s)
+
+	if *updatesPath == "" {
+		return
+	}
+	uf, err := os.Open(*updatesPath)
+	fatalIf(err)
+	batch, err := updates.ParseScript(uf)
+	uf.Close()
+	fatalIf(err)
+
+	s.SQuery(batch)
+	st := s.Stats()
+	fmt.Printf("\nSQuery (%d pattern + %d data updates) in %v\n",
+		st.PatternUpdates, st.DataUpdates, st.Duration)
+	if st.TreeSize > 0 {
+		fmt.Printf("EH-Tree: %d updates, %d roots, %d eliminated; %d amendment pass(es)\n",
+			st.TreeSize, st.TreeRoots, st.Eliminated, st.Passes)
+	}
+	fmt.Println("\nSQuery result:")
+	printResult(s)
+}
+
+func printResult(s *uagpnm.Session) {
+	p := s.Pattern()
+	p.Nodes(func(u pattern.NodeID) {
+		set := s.Result(u)
+		names := make([]string, 0, set.Len())
+		for _, id := range set {
+			names = append(names, fmt.Sprintf("%d", id))
+		}
+		fmt.Printf("  %-12s (%s): {%s}\n", p.Name(u), p.LabelName(u), strings.Join(names, ", "))
+	})
+}
+
+func parseMethod(name string) (core.Method, error) {
+	for _, m := range core.Methods {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("gpnm: unknown method %q", name)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnm:", err)
+		os.Exit(1)
+	}
+}

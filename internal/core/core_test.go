@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/paperex"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/updates"
+)
+
+// TestPaperTableIThroughSession reproduces Table I via the Session API.
+func TestPaperTableIThroughSession(t *testing.T) {
+	g, ids := paperex.DataGraph()
+	p, pids := paperex.PatternFig1(g.Labels())
+	for _, m := range Methods {
+		s := NewSession(g.Clone(), p.Clone(), Config{Method: m})
+		want := map[string]nodeset.Set{
+			"PM": nodeset.New(ids["PM1"], ids["PM2"]),
+			"SE": nodeset.New(ids["SE1"], ids["SE2"]),
+			"S":  nodeset.New(ids["S1"]),
+			"TE": nodeset.New(ids["TE1"], ids["TE2"]),
+		}
+		for name, wantSet := range want {
+			if got := s.Result(pids[name]); !got.Equal(wantSet) {
+				t.Errorf("%v: N(%s) = %v, want %v", m, name, got, wantSet)
+			}
+		}
+	}
+}
+
+// TestPaperExample2AllMethods runs the full Fig. 2 scenario through every
+// method; all five must agree, and UA-GPNM must build the Fig. 3 tree.
+func TestPaperExample2AllMethods(t *testing.T) {
+	g, ids := paperex.DataGraph()
+	p, pids := paperex.PatternFig2(g.Labels())
+	batch := updates.Batch{
+		P: []updates.Update{
+			{Kind: updates.PatternEdgeInsert, From: pids["PM"], To: pids["TE"], Bound: paperex.UP1Bound},
+			{Kind: updates.PatternEdgeInsert, From: pids["S"], To: pids["TE"], Bound: paperex.UP2Bound},
+		},
+		D: []updates.Update{
+			{Kind: updates.DataEdgeInsert, From: ids["SE1"], To: ids["TE2"]},
+			{Kind: updates.DataEdgeInsert, From: ids["DB1"], To: ids["S1"]},
+		},
+	}
+	ref := NewSession(g.Clone(), p.Clone(), Config{Method: Scratch})
+	refMatch := ref.SQuery(batch)
+	for _, m := range Methods[1:] {
+		s := NewSession(g.Clone(), p.Clone(), Config{Method: m})
+		got := s.SQuery(batch)
+		if !got.Equal(refMatch) {
+			t.Errorf("%v: result differs from scratch", m)
+		}
+		if m == UAGPNM || m == UAGPNMNoPar {
+			if s.Stats.TreeSize != 4 || s.Stats.TreeRoots != 1 || s.Stats.Eliminated != 3 {
+				t.Errorf("%v: tree stats = %+v, want size 4, roots 1, eliminated 3 (Fig. 3)", m, s.Stats)
+			}
+			if s.Stats.Passes != 1 {
+				t.Errorf("%v: passes = %d, want 1", m, s.Stats.Passes)
+			}
+		}
+		// The cross-elimination scenario keeps both PMs matched.
+		pmSet := s.Result(pids["PM"])
+		if want := nodeset.New(ids["PM1"], ids["PM2"]); !pmSet.Equal(want) {
+			t.Errorf("%v: N(PM) = %v, want %v", m, pmSet, want)
+		}
+	}
+}
+
+func randomLabeled(rng *rand.Rand, n, m int, labels []string) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	return g
+}
+
+func randomPattern(rng *rand.Rand, lt *graph.Labels, nodes, edges int, labels []string) *pattern.Graph {
+	p := pattern.New(lt)
+	ids := make([]pattern.NodeID, nodes)
+	for i := range ids {
+		ids[i] = p.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < edges; i++ {
+		p.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], pattern.Bound(1+rng.Intn(3)))
+	}
+	return p
+}
+
+// TestAllMethodsAgree is the solver-level differential test: on random
+// instances and batches, every method's SQuery must match Scratch —
+// across several successive batches to catch state drift.
+func TestAllMethodsAgree(t *testing.T) {
+	labels := []string{"A", "B", "C", "D"}
+	for _, horizon := range []int{0, 3} {
+		horizon := horizon
+		for trial := 0; trial < 6; trial++ {
+			rng := rand.New(rand.NewSource(int64(500 + trial)))
+			g := randomLabeled(rng, 30, 80, labels)
+			p := randomPattern(rng, g.Labels(), 4, 5, labels)
+
+			sessions := make([]*Session, len(Methods))
+			for i, m := range Methods {
+				sessions[i] = NewSession(g.Clone(), p.Clone(), Config{Method: m, Horizon: horizon})
+			}
+			for round := 0; round < 3; round++ {
+				batch := updates.Generate(updates.Balanced(int64(trial*100+round), 3, 10), sessions[0].G, sessions[0].P)
+				ref := sessions[0].SQuery(batch)
+				for i, s := range sessions[1:] {
+					got := s.SQuery(batch)
+					if !got.Equal(ref) {
+						t.Fatalf("h=%d trial %d round %d: %v differs from Scratch (batch %v | %v)",
+							horizon, trial, round, Methods[i+1], batch.P, batch.D)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPassAccounting checks the cost model that separates the methods:
+// INC pays one pass per update; EH pays per data root + per pattern
+// update; UA pays exactly one.
+func TestPassAccounting(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(42))
+	g := randomLabeled(rng, 40, 120, labels)
+	p := randomPattern(rng, g.Labels(), 5, 6, labels)
+	batch := updates.Generate(updates.Balanced(7, 4, 12), g, p)
+
+	inc := NewSession(g.Clone(), p.Clone(), Config{Method: INCGPNM, Horizon: 3})
+	inc.SQuery(batch)
+	if want := len(batch.D) + len(batch.P); inc.Stats.Passes != want {
+		t.Errorf("INC passes = %d, want %d", inc.Stats.Passes, want)
+	}
+
+	eh := NewSession(g.Clone(), p.Clone(), Config{Method: EHGPNM, Horizon: 3})
+	eh.SQuery(batch)
+	if eh.Stats.TreeSize != len(batch.D) {
+		t.Errorf("EH tree size = %d, want %d", eh.Stats.TreeSize, len(batch.D))
+	}
+	if want := eh.Stats.TreeRoots + len(batch.P); eh.Stats.Passes != want {
+		t.Errorf("EH passes = %d, want roots+patterns = %d", eh.Stats.Passes, want)
+	}
+	if eh.Stats.TreeRoots > len(batch.D) {
+		t.Error("EH roots exceed data updates")
+	}
+
+	ua := NewSession(g.Clone(), p.Clone(), Config{Method: UAGPNM, Horizon: 3})
+	ua.SQuery(batch)
+	if ua.Stats.Passes != 1 {
+		t.Errorf("UA passes = %d, want 1", ua.Stats.Passes)
+	}
+	if ua.Stats.TreeSize != batch.Size() {
+		t.Errorf("UA tree size = %d, want %d", ua.Stats.TreeSize, batch.Size())
+	}
+	if ua.Stats.SeedNodes == 0 && batch.Size() > 0 {
+		t.Log("note: empty seed set (all updates were no-ops)")
+	}
+	if ua.Stats.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}
+
+// TestForkIndependence ensures forked sessions do not share state.
+func TestForkIndependence(t *testing.T) {
+	g, ids := paperex.DataGraph()
+	p, pids := paperex.PatternFig2(g.Labels())
+	s := NewSession(g, p, Config{Method: UAGPNM})
+	f := s.Fork()
+	batch := updates.Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: ids["SE1"], To: ids["TE2"]},
+	}}
+	f.SQuery(batch)
+	if s.G.HasEdge(ids["SE1"], ids["TE2"]) {
+		t.Fatal("fork mutation leaked into original graph")
+	}
+	if got, want := s.Result(pids["PM"]), nodeset.New(ids["PM1"], ids["PM2"]); !got.Equal(want) {
+		t.Fatalf("original session result drifted: %v", got)
+	}
+}
+
+// TestSuccessiveBatchesMaintainState: a session must stay consistent over
+// a long run of batches (the streaming scenario of the examples).
+func TestSuccessiveBatchesMaintainState(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(314))
+	g := randomLabeled(rng, 25, 70, labels)
+	p := randomPattern(rng, g.Labels(), 4, 5, labels)
+	ua := NewSession(g.Clone(), p.Clone(), Config{Method: UAGPNM, Horizon: 3})
+	scr := NewSession(g.Clone(), p.Clone(), Config{Method: Scratch, Horizon: 3})
+	for round := 0; round < 8; round++ {
+		batch := updates.Generate(updates.Balanced(int64(round), 2, 6), ua.G, ua.P)
+		got := ua.SQuery(batch)
+		want := scr.SQuery(batch)
+		if !got.Equal(want) {
+			t.Fatalf("round %d: UA diverged from scratch", round)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		Scratch: "Scratch", INCGPNM: "INC-GPNM", EHGPNM: "EH-GPNM",
+		UAGPNMNoPar: "UA-GPNM-NoPar", UAGPNM: "UA-GPNM", Method(99): "Method(99)",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}

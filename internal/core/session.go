@@ -1,0 +1,209 @@
+// Package core implements the paper's query-processing algorithms behind
+// one Session abstraction:
+//
+//   - Scratch     — recompute SLen and the match from nothing (the naive
+//     baseline every GPNM paper measures against);
+//   - INC-GPNM    — the incremental baseline [13]: one SLen sync plus one
+//     amendment pass per update, data and pattern alike;
+//   - EH-GPNM     — the TKDE baseline [14]: Type II elimination over the
+//     data updates only (per-update previews, an EH-Tree over ΔGD), one
+//     amendment pass per data root, and still one pass per pattern
+//     update;
+//   - UA-GPNM-NoPar — this paper's algorithm without §V's partition:
+//     fused DER-I/II/III detection, a full EH-Tree over both update
+//     streams, and a single amendment pass seeded by the root sets and
+//     the batch change log;
+//   - UA-GPNM     — the same pipeline on the label-partitioned SLen
+//     engine (Algorithm 6).
+//
+// A Session owns a data graph, a pattern, a distance engine and the
+// current match. NewSession answers the initial query (IQuery); each
+// SQuery call processes one update batch and delivers the subsequent
+// query's result, maintaining all state incrementally. Every method
+// produces the same matches — only the work differs — which the package
+// tests enforce against Scratch.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/partition"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/simulation"
+	"uagpnm/internal/updates"
+)
+
+// Method selects a query-processing algorithm.
+type Method int
+
+// The five methods of the paper's evaluation (§VII-A).
+const (
+	Scratch Method = iota
+	INCGPNM
+	EHGPNM
+	UAGPNMNoPar
+	UAGPNM
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	switch m {
+	case Scratch:
+		return "Scratch"
+	case INCGPNM:
+		return "INC-GPNM"
+	case EHGPNM:
+		return "EH-GPNM"
+	case UAGPNMNoPar:
+		return "UA-GPNM-NoPar"
+	case UAGPNM:
+		return "UA-GPNM"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists every method in evaluation order.
+var Methods = []Method{Scratch, INCGPNM, EHGPNM, UAGPNMNoPar, UAGPNM}
+
+// Config parameterises a Session.
+type Config struct {
+	Method Method
+	// Horizon caps SLen at this many hops (0 = exact distances). It is
+	// raised automatically to the pattern's largest finite bound.
+	Horizon int
+	// DenseThreshold and ELLWidth tune the SLen backends (zero values
+	// take the engine defaults).
+	DenseThreshold int
+	ELLWidth       int
+}
+
+// QueryStats records the work of the last SQuery.
+type QueryStats struct {
+	Duration       time.Duration
+	Passes         int // amendment passes run
+	DataUpdates    int
+	PatternUpdates int
+	TreeSize       int // updates indexed in the EH-Tree (0 for Scratch/INC)
+	TreeRoots      int // uneliminated updates
+	Eliminated     int // |Ue| of the paper's complexity analysis
+	SeedNodes      int // seed set size of the final amendment
+}
+
+// Session is one evolving GPNM query: graph, pattern, SLen engine and
+// the current match, processed by a fixed Method.
+type Session struct {
+	Method Method
+	G      *graph.Graph
+	P      *pattern.Graph
+	Engine shortest.DistanceEngine
+	Match  *simulation.Match
+	Stats  QueryStats
+
+	cfg Config
+}
+
+// NewSession builds the engine, answers the initial query (IQuery) and
+// returns the ready session. The graph and pattern are owned by the
+// session afterwards (Fork for independent copies).
+func NewSession(g *graph.Graph, p *pattern.Graph, cfg Config) *Session {
+	if cfg.Horizon != 0 {
+		if b := p.MaxFiniteBound(); b > cfg.Horizon {
+			cfg.Horizon = b
+		}
+	}
+	s := &Session{Method: cfg.Method, G: g, P: p, cfg: cfg}
+	s.Engine = s.newEngine(g)
+	s.Engine.Build()
+	s.Match = simulation.Run(p, g, s.Engine)
+	return s
+}
+
+// NewSessionWith wraps a pre-built engine (Build()-consistent with g)
+// into a session and answers IQuery — the experiment harness uses it to
+// amortise engine construction across many sessions via CloneFor.
+func NewSessionWith(g *graph.Graph, p *pattern.Graph, eng shortest.DistanceEngine, cfg Config) *Session {
+	if cfg.Horizon != 0 {
+		if b := p.MaxFiniteBound(); b > cfg.Horizon {
+			cfg.Horizon = b
+		}
+		eng.EnsureHorizon(cfg.Horizon)
+	}
+	s := &Session{Method: cfg.Method, G: g, P: p, Engine: eng, cfg: cfg}
+	s.Match = simulation.Run(p, g, eng)
+	return s
+}
+
+func (s *Session) newEngine(g *graph.Graph) shortest.DistanceEngine {
+	if s.Method == UAGPNM {
+		var opts []partition.Option
+		if s.cfg.DenseThreshold > 0 {
+			opts = append(opts, partition.WithDenseThreshold(s.cfg.DenseThreshold))
+		}
+		if s.cfg.ELLWidth > 0 {
+			opts = append(opts, partition.WithELLWidth(s.cfg.ELLWidth))
+		}
+		return partition.NewEngine(g, s.cfg.Horizon, opts...)
+	}
+	var opts []shortest.Option
+	if s.cfg.DenseThreshold > 0 {
+		opts = append(opts, shortest.WithDenseThreshold(s.cfg.DenseThreshold))
+	}
+	if s.cfg.ELLWidth > 0 {
+		opts = append(opts, shortest.WithELLWidth(s.cfg.ELLWidth))
+	}
+	return shortest.NewEngine(g, s.cfg.Horizon, opts...)
+}
+
+// Fork returns an independent copy of the session (deep-copied graph,
+// pattern, engine and match) so benchmark iterations can each process
+// their own batch from the same initial state.
+func (s *Session) Fork() *Session {
+	g2 := s.G.Clone()
+	p2 := s.P.Clone()
+	return &Session{
+		Method: s.Method,
+		G:      g2,
+		P:      p2,
+		Engine: s.Engine.CloneFor(g2),
+		Match:  s.Match.Clone(p2),
+		cfg:    s.cfg,
+	}
+}
+
+// Result returns the GPNM node matching result for pattern node u
+// (empty unless every pattern node is matched — BGS semantics).
+func (s *Session) Result(u pattern.NodeID) nodeset.Set { return s.Match.Nodes(u) }
+
+// SQuery processes one update batch with the session's method and
+// returns the subsequent query's match. Batches must have been generated
+// against (or be consistent with) the session's current graph/pattern
+// state.
+func (s *Session) SQuery(b updates.Batch) *simulation.Match {
+	start := time.Now()
+	s.Stats = QueryStats{DataUpdates: len(b.D), PatternUpdates: len(b.P)}
+	switch s.Method {
+	case Scratch:
+		s.runScratch(b)
+	case INCGPNM:
+		s.runINC(b)
+	case EHGPNM:
+		s.runEH(b)
+	case UAGPNMNoPar, UAGPNM:
+		s.runUA(b)
+	default:
+		panic("core: unknown method")
+	}
+	s.Stats.Duration = time.Since(start)
+	return s.Match
+}
+
+// ensureHorizonFor widens the engine to cover the updated pattern.
+func (s *Session) ensureHorizonFor(p *pattern.Graph) {
+	if b := p.MaxFiniteBound(); b > 0 {
+		s.Engine.EnsureHorizon(b)
+	}
+}

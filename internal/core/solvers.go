@@ -1,0 +1,149 @@
+package core
+
+import (
+	"uagpnm/internal/ehtree"
+	"uagpnm/internal/elim"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/partition"
+	"uagpnm/internal/simulation"
+	"uagpnm/internal/updates"
+)
+
+// runScratch answers the subsequent query by full recomputation: apply
+// the updates structurally, rebuild SLen, rerun the matching fixpoint.
+func (s *Session) runScratch(b updates.Batch) {
+	updates.ApplyDataStructural(b.D, s.G)
+	newP := s.P.Clone()
+	updates.ApplyPatternBatch(b.P, newP)
+	s.P = newP
+	if s.cfg.Horizon != 0 {
+		if bnd := newP.MaxFiniteBound(); bnd > s.cfg.Horizon {
+			s.Engine.EnsureHorizon(bnd)
+		}
+	}
+	s.Engine.Build()
+	s.Match = simulation.Run(s.P, s.G, s.Engine)
+	s.Stats.Passes = 1
+}
+
+// runINC is the INC-GPNM baseline [13]: every update — data or pattern —
+// gets its own SLen synchronisation and amendment pass.
+func (s *Session) runINC(b updates.Batch) {
+	for _, u := range b.D {
+		aff := updates.ApplyData(u, s.G, s.Engine)
+		s.Match = simulation.Amend(s.Match, s.P, s.G, s.Engine, aff)
+		s.Stats.Passes++
+	}
+	for _, u := range b.P {
+		newP := s.P.Clone()
+		updates.ApplyPattern(u, newP)
+		s.ensureHorizonFor(newP)
+		s.Match = simulation.Amend(s.Match, newP, s.G, s.Engine, nil)
+		s.P = newP
+		s.Stats.Passes++
+	}
+}
+
+// runEH is the EH-GPNM baseline [14]: Type II elimination over the data
+// updates only. SLen maintenance is fused with Aff_N collection (one
+// synchronisation sweep in update order, as in Algorithm 2), the EH-Tree
+// over ΔGD groups the updates, and one amendment pass runs per root —
+// the first pass additionally carries the batch change log, which makes
+// it exact; later root passes re-verify their root's region (the
+// redundancy that separates EH-GPNM from UA-GPNM). Pattern updates still
+// get one pass each.
+func (s *Session) runEH(b updates.Batch) {
+	affSets := make([]nodeset.Set, len(b.D))
+	var log nodeset.Builder
+	for i, u := range b.D {
+		affSets[i] = updates.ApplyData(u, s.G, s.Engine)
+		log.AddAll(affSets[i])
+	}
+	changeLog := log.Set()
+	affInfos := elim.AffSetsFromApplication(b.D, affSets)
+	tree := ehtree.Build(affInfos, nil, nil)
+	s.Stats.TreeSize = tree.Size()
+	s.Stats.TreeRoots = len(tree.Roots)
+	s.Stats.Eliminated = tree.EliminatedCount()
+
+	first := true
+	for _, root := range tree.RootInfos() {
+		seeds := root.Set
+		if first {
+			seeds = seeds.Union(changeLog)
+			first = false
+		}
+		s.Match = simulation.Amend(s.Match, s.P, s.G, s.Engine, seeds)
+		s.Stats.Passes++
+	}
+	if first && len(b.D) > 0 {
+		// No roots (all previews empty) but updates applied: one pass on
+		// the change log keeps the result exact.
+		s.Match = simulation.Amend(s.Match, s.P, s.G, s.Engine, changeLog)
+		s.Stats.Passes++
+	}
+	for _, u := range b.P {
+		newP := s.P.Clone()
+		updates.ApplyPattern(u, newP)
+		s.ensureHorizonFor(newP)
+		s.Match = simulation.Amend(s.Match, newP, s.G, s.Engine, nil)
+		s.P = newP
+		s.Stats.Passes++
+	}
+}
+
+// runUA is Algorithm 6 — UA-GPNM (and its no-partition ablation): DER-I
+// candidate sets before the batch, DER-II affected sets fused with the
+// SLen synchronisation, DER-III against the updated SLen, the full
+// EH-Tree over both streams, and a single amendment pass seeded by the
+// uneliminated (root) sets plus the batch change log. With Method ==
+// UAGPNM the session's engine is the label-partitioned one (§V).
+func (s *Session) runUA(b updates.Batch) {
+	// DER-I on the pre-update state.
+	canInfos := elim.CanSets(b.P, s.Match, s.P, s.G, s.Engine)
+
+	// Apply ΔGD, fusing DER-II with SLen maintenance (Algorithm 2's
+	// in-place SLen_new update). The partitioned engine reconciles its
+	// bridge overlay once for the whole batch (§VI's batching).
+	var affSets []nodeset.Set
+	var changeLog nodeset.Set
+	if pe, ok := s.Engine.(*partition.Engine); ok {
+		affSets, changeLog = pe.ApplyDataBatch(b.D, s.G)
+	} else {
+		affSets = make([]nodeset.Set, len(b.D))
+		var log nodeset.Builder
+		for i, u := range b.D {
+			affSets[i] = updates.ApplyData(u, s.G, s.Engine)
+			log.AddAll(affSets[i])
+		}
+		changeLog = log.Set()
+	}
+	affInfos := elim.AffSetsFromApplication(b.D, affSets)
+
+	// Apply ΔGP to a pattern clone; widen the horizon before DER-III asks
+	// about new bounds.
+	newP := s.P.Clone()
+	updates.ApplyPatternBatch(b.P, newP)
+	s.ensureHorizonFor(newP)
+
+	// DER-III + EH-Tree (Fig. 3's structure, §IV-C).
+	oldMatch := s.Match
+	tree := ehtree.Build(affInfos, canInfos, func(up, ud elim.Info) bool {
+		return elim.CrossEliminates(up, ud, oldMatch, s.Engine)
+	})
+	s.Stats.TreeSize = tree.Size()
+	s.Stats.TreeRoots = len(tree.Roots)
+	s.Stats.Eliminated = tree.EliminatedCount()
+
+	// One amendment pass for the uneliminated updates: the union of the
+	// root sets equals the union over all updates (children are covered),
+	// and the change log guarantees every combined effect is seeded.
+	seeds := changeLog
+	for _, root := range tree.RootInfos() {
+		seeds = seeds.Union(root.Set)
+	}
+	s.Stats.SeedNodes = seeds.Len()
+	s.Match = simulation.Amend(s.Match, newP, s.G, s.Engine, seeds)
+	s.P = newP
+	s.Stats.Passes = 1
+}

@@ -1,0 +1,121 @@
+package datasets
+
+import (
+	"testing"
+
+	"uagpnm/internal/graph"
+)
+
+func TestGenerateSocialShape(t *testing.T) {
+	cfg := SocialConfig{Name: "t", Nodes: 500, Edges: 2000, Labels: 6, Homophily: 0.8, PrefAtt: 0.6, Seed: 1}
+	g := GenerateSocial(cfg)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d, want 500", g.NumNodes())
+	}
+	if g.NumEdges() < 1900 {
+		t.Fatalf("edges = %d, want ≈2000", g.NumEdges())
+	}
+	if g.Labels().Count() != 6 {
+		t.Fatalf("labels = %d, want 6", g.Labels().Count())
+	}
+	// Every node carries exactly one role label.
+	g.Nodes(func(id uint32) {
+		if len(g.NodeLabels(id)) != 1 {
+			t.Fatalf("node %d has %d labels", id, len(g.NodeLabels(id)))
+		}
+	})
+}
+
+func TestGenerateSocialHomophily(t *testing.T) {
+	cfg := SocialConfig{Nodes: 1000, Edges: 5000, Labels: 8, Homophily: 0.9, PrefAtt: 0.5, Seed: 2}
+	g := GenerateSocial(cfg)
+	intra := 0
+	g.Edges(func(e graph.Edge) {
+		if g.NodeLabels(e.From)[0] == g.NodeLabels(e.To)[0] {
+			intra++
+		}
+	})
+	frac := float64(intra) / float64(g.NumEdges())
+	if frac < 0.75 {
+		t.Fatalf("intra-label edge fraction = %.2f, want ≥ 0.75 with homophily 0.9", frac)
+	}
+	// The hostile setting must produce clearly less homophily.
+	g2 := GenerateSocial(SocialConfig{Nodes: 1000, Edges: 5000, Labels: 8, Homophily: 0.0, PrefAtt: 0.5, Seed: 2})
+	intra2 := 0
+	g2.Edges(func(e graph.Edge) {
+		if g2.NodeLabels(e.From)[0] == g2.NodeLabels(e.To)[0] {
+			intra2++
+		}
+	})
+	if intra2 >= intra {
+		t.Fatalf("homophily knob has no effect: %d vs %d", intra2, intra)
+	}
+}
+
+func TestGenerateSocialHeavyTail(t *testing.T) {
+	cfg := SocialConfig{Nodes: 2000, Edges: 10000, Labels: 10, Homophily: 0.8, PrefAtt: 0.7, Seed: 3}
+	g := GenerateSocial(cfg)
+	s := g.ComputeStats()
+	// Preferential attachment should produce hubs well above the mean.
+	if float64(s.MaxOutDeg) < 4*s.AvgOutDeg {
+		t.Fatalf("max out-degree %d vs avg %.1f: no heavy tail", s.MaxOutDeg, s.AvgOutDeg)
+	}
+}
+
+func TestGenerateSocialDeterminism(t *testing.T) {
+	cfg := SocialConfig{Nodes: 300, Edges: 900, Labels: 5, Homophily: 0.8, PrefAtt: 0.5, Seed: 7}
+	g1 := GenerateSocial(cfg)
+	g2 := GenerateSocial(cfg)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	same := true
+	g1.Edges(func(e graph.Edge) {
+		if !g2.HasEdge(e.From, e.To) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("edge sets differ across identical seeds")
+	}
+}
+
+func TestSimAndMiniSpecs(t *testing.T) {
+	for _, specs := range [][]Spec{Sim(), Mini()} {
+		if len(specs) != 5 {
+			t.Fatalf("want 5 datasets, got %d", len(specs))
+		}
+		// Scale ordering of Table X preserved: nodes ascending after the
+		// first (email stays small but dense), edges reflect the paper.
+		for i := 2; i < len(specs); i++ {
+			if specs[i].Nodes <= specs[i-1].Nodes {
+				t.Errorf("node ordering broken at %s", specs[i].Name)
+			}
+		}
+		names := map[string]bool{}
+		for _, s := range specs {
+			names[s.Name] = true
+		}
+		for _, want := range []string{"email-EU-core", "DBLP", "Amazon", "Youtube", "LiveJournal"} {
+			if !names[want] {
+				t.Errorf("missing dataset %s", want)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	specs := Mini()
+	if s, ok := ByName(specs, "DBLP"); !ok || s.Name != "DBLP" {
+		t.Fatal("ByName(DBLP) failed")
+	}
+	if _, ok := ByName(specs, "nope"); ok {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestLabelName(t *testing.T) {
+	if LabelName(3) != "role03" {
+		t.Fatalf("LabelName(3) = %q", LabelName(3))
+	}
+}

@@ -1,0 +1,198 @@
+// Package ehtree implements the Elimination Hierarchy Tree of §IV-C: an
+// index over the updates of one query batch recording which update
+// eliminates which. Each tree node is one update together with its
+// candidate/affected node set; a node hangs below any update whose set
+// covers its own (same-graph elimination, Types I and II) or — for a
+// pattern update below a data update — below an update that cancels it
+// (cross-graph elimination, Type III).
+//
+// Coverage is not total, so the structure is a forest; the paper's
+// strategy (a) — "the update with the maximum number of affected or
+// candidate nodes is set as the root" — generalises to inserting updates
+// in descending set-size order, each attached under the first node
+// (depth-first) that covers it. The roots are the uneliminated updates:
+// the only ones a solver must run an incremental pass for.
+package ehtree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"uagpnm/internal/elim"
+)
+
+// Node is one update in the tree.
+type Node struct {
+	Info     elim.Info
+	Cross    bool // attached by a Type III (cross-graph) elimination
+	Parent   *Node
+	Children []*Node
+}
+
+// Tree is the elimination hierarchy forest for one batch.
+type Tree struct {
+	Roots []*Node
+	size  int
+}
+
+// CrossFunc reports whether data update ud eliminates pattern update up
+// (Type III). It is supplied by the solver, which owns the match and the
+// updated SLen oracle (see elim.CrossEliminates).
+type CrossFunc func(up, ud elim.Info) bool
+
+// Build constructs the EH-Tree for one batch: dataInfos carry Aff_N sets
+// (DER-II), patternInfos carry Can_N sets (DER-I), and cross implements
+// DER-III (nil disables cross-graph elimination — the EH-GPNM baseline).
+func Build(dataInfos, patternInfos []elim.Info, cross CrossFunc) *Tree {
+	type entry struct {
+		info   elim.Info
+		isData bool
+	}
+	entries := make([]entry, 0, len(dataInfos)+len(patternInfos))
+	for _, in := range dataInfos {
+		entries = append(entries, entry{in, true})
+	}
+	for _, in := range patternInfos {
+		entries = append(entries, entry{in, false})
+	}
+	// Descending set size; data before pattern at ties (strategy (a) plus
+	// the paper's convention of rooting cross-eliminations at the data
+	// update); stable on sequence for determinism.
+	sort.SliceStable(entries, func(i, j int) bool {
+		si, sj := entries[i].info.Set.Len(), entries[j].info.Set.Len()
+		if si != sj {
+			return si > sj
+		}
+		if entries[i].isData != entries[j].isData {
+			return entries[i].isData
+		}
+		return false
+	})
+	t := &Tree{}
+	for _, en := range entries {
+		t.insert(en.info, en.isData, cross)
+	}
+	return t
+}
+
+// insert attaches one update below the first covering node, or as a new
+// root. Same-graph coverage (Types I/II) is preferred over cross-graph
+// attachment (Type III), matching the paper's Example 10 where UP2 hangs
+// below UP1 even though UD1 would also cancel it.
+func (t *Tree) insert(info elim.Info, isData bool, cross CrossFunc) {
+	node := &Node{Info: info}
+	t.size++
+	sameGraph := func(n *Node) bool {
+		return n.Info.U.Kind.IsData() == isData && n.Info.Set.Covers(node.Info.Set)
+	}
+	crossGraph := func(n *Node) bool {
+		return cross != nil && !isData && n.Info.U.Kind.IsData() && cross(node.Info, n.Info)
+	}
+	if parent := t.find(sameGraph); parent != nil {
+		node.Parent = parent
+		parent.Children = append(parent.Children, node)
+		return
+	}
+	if parent := t.find(crossGraph); parent != nil {
+		node.Parent = parent
+		node.Cross = true
+		parent.Children = append(parent.Children, node)
+		return
+	}
+	t.Roots = append(t.Roots, node)
+}
+
+// find returns the most specific node satisfying the predicate — the
+// covering node with the smallest set, so nested coverage forms chains
+// (UD1 ⊒ UD2 ⊒ UD3 indexes as a three-level path, not a star) — or nil.
+func (t *Tree) find(pred func(*Node) bool) *Node {
+	var best *Node
+	t.Walk(func(n *Node, _ int) {
+		if pred(n) && (best == nil || n.Info.Set.Len() < best.Info.Set.Len()) {
+			best = n
+		}
+	})
+	return best
+}
+
+// Size reports the number of updates indexed.
+func (t *Tree) Size() int { return t.size }
+
+// RootInfos returns the uneliminated updates — the per-root node sets a
+// solver seeds its incremental passes with.
+func (t *Tree) RootInfos() []elim.Info {
+	out := make([]elim.Info, len(t.Roots))
+	for i, r := range t.Roots {
+		out[i] = r.Info
+	}
+	return out
+}
+
+// EliminatedCount reports how many updates were eliminated (non-roots) —
+// the |Ue| of the paper's complexity analysis.
+func (t *Tree) EliminatedCount() int { return t.size - len(t.Roots) }
+
+// Walk visits every node depth-first, roots in insertion order.
+func (t *Tree) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		fn(n, d)
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, 0)
+	}
+}
+
+// Depth reports the longest root-to-leaf chain (0 for an empty tree).
+func (t *Tree) Depth() int {
+	max := 0
+	t.Walk(func(_ *Node, d int) {
+		if d+1 > max {
+			max = d + 1
+		}
+	})
+	return max
+}
+
+// String renders the forest with one node per line, indented by depth.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.Walk(func(n *Node, d int) {
+		fmt.Fprintf(&b, "%s%s |set|=%d", strings.Repeat("  ", d), n.Info.U, n.Info.Set.Len())
+		if n.Cross {
+			b.WriteString(" (cross)")
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// WriteDot emits the forest in Graphviz DOT format.
+func (t *Tree) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph ehtree {\n  rankdir=TB;\n  node [shape=box];\n")
+	id := 0
+	names := map[*Node]int{}
+	t.Walk(func(n *Node, _ int) {
+		names[n] = id
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n|set|=%d\"];\n", id, n.Info.U, n.Info.Set.Len())
+		id++
+	})
+	t.Walk(func(n *Node, _ int) {
+		if n.Parent != nil {
+			style := ""
+			if n.Cross {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", names[n.Parent], names[n], style)
+		}
+	})
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

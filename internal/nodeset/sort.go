@@ -1,0 +1,106 @@
+package nodeset
+
+// SortIDs sorts ids ascending in place. It is a specialised
+// insertion/quick sort: the reflection-based sort.Slice shows up heavily
+// in profiles because id sorting sits on every hot path (BFS row
+// assembly, set normalisation, ball emission).
+func SortIDs(s []ID) {
+	if len(s) < 2 {
+		return
+	}
+	quickSortIDs(s, 0)
+}
+
+const insertionCutoff = 24
+
+func quickSortIDs(s []ID, depth int) {
+	for len(s) > insertionCutoff {
+		if depth > 64 {
+			heapSortIDs(s)
+			return
+		}
+		depth++
+		p := partitionIDs(s)
+		if p < len(s)-p {
+			quickSortIDs(s[:p], depth)
+			s = s[p:]
+		} else {
+			quickSortIDs(s[p:], depth)
+			s = s[:p]
+		}
+	}
+	insertionSortIDs(s)
+}
+
+func insertionSortIDs(s []ID) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i
+		for j > 0 && s[j-1] > v {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = v
+	}
+}
+
+// partitionIDs partitions around a median-of-three pivot and returns the
+// first index of the right half.
+func partitionIDs(s []ID) int {
+	m := len(s) / 2
+	hi := len(s) - 1
+	// median of three to s[0]
+	if s[m] < s[0] {
+		s[m], s[0] = s[0], s[m]
+	}
+	if s[hi] < s[0] {
+		s[hi], s[0] = s[0], s[hi]
+	}
+	if s[hi] < s[m] {
+		s[hi], s[m] = s[m], s[hi]
+	}
+	pivot := s[m]
+	i, j := 0, hi
+	for {
+		for s[i] < pivot {
+			i++
+		}
+		for s[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+}
+
+func heapSortIDs(s []ID) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownIDs(s, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftDownIDs(s, 0, i)
+	}
+}
+
+func siftDownIDs(s []ID, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && s[child+1] > s[child] {
+			child++
+		}
+		if s[root] >= s[child] {
+			return
+		}
+		s[root], s[child] = s[child], s[root]
+		root = child
+	}
+}

@@ -1,0 +1,84 @@
+// Package paperex builds the running examples of the paper — the data
+// graph of Fig. 1(a)/2(a), the pattern graphs of Fig. 1(b) and Fig. 2(c),
+// and the four updates UP1, UP2, UD1, UD2 of Fig. 2 — so that every
+// layer's tests can validate against the paper's worked tables
+// (I, III–IX) from one shared fixture.
+package paperex
+
+import (
+	"uagpnm/internal/graph"
+	"uagpnm/internal/pattern"
+)
+
+// Names indexes the data graph's nodes in the paper's table order.
+var Names = []string{"PM1", "PM2", "SE1", "SE2", "S1", "TE1", "TE2", "DB1"}
+
+// DataGraph builds GD of Fig. 1(a)/Fig. 2(a). The edge set is the one
+// implied by the paper's SLen matrix (Table III): exactly the node pairs
+// at distance 1. The returned map resolves the paper's node names.
+func DataGraph() (*graph.Graph, map[string]uint32) {
+	g := graph.New(nil)
+	labels := []string{"PM", "PM", "SE", "SE", "S", "TE", "TE", "DB"}
+	ids := make(map[string]uint32, len(Names))
+	for i, n := range Names {
+		ids[n] = g.AddNode(labels[i])
+	}
+	for _, e := range [][2]string{
+		{"PM1", "SE2"}, {"PM1", "DB1"},
+		{"PM2", "SE1"},
+		{"SE1", "PM2"}, {"SE1", "SE2"}, {"SE1", "S1"},
+		{"SE2", "TE1"}, {"SE2", "DB1"},
+		{"S1", "DB1"},
+		{"TE1", "SE2"},
+		{"TE2", "S1"},
+		{"DB1", "SE1"},
+	} {
+		if !g.AddEdge(ids[e[0]], ids[e[1]]) {
+			panic("paperex: bad edge " + e[0] + "->" + e[1])
+		}
+	}
+	return g, ids
+}
+
+// PatternNames indexes the pattern nodes of both pattern fixtures.
+var PatternNames = []string{"PM", "SE", "TE", "S"}
+
+// PatternFig1 builds GP of Fig. 1(b): an IT project needing a PM, an SE,
+// a TE and an S, with PM→SE(3), PM→S(4), SE→TE(3) and S→TE(*).
+// The returned map resolves pattern node names.
+func PatternFig1(labels *graph.Labels) (*pattern.Graph, map[string]pattern.NodeID) {
+	p, ids := patternBase(labels)
+	p.AddEdge(ids["S"], ids["TE"], pattern.Star)
+	return p, ids
+}
+
+// PatternFig2 builds the original GP of Fig. 2(c) — the Fig. 1 pattern
+// before the updates UP1/UP2 insert the TE constraints: PM→SE(3),
+// PM→S(4), SE→TE(3).
+func PatternFig2(labels *graph.Labels) (*pattern.Graph, map[string]pattern.NodeID) {
+	return patternBase(labels)
+}
+
+func patternBase(labels *graph.Labels) (*pattern.Graph, map[string]pattern.NodeID) {
+	p := pattern.New(labels)
+	ids := make(map[string]pattern.NodeID, len(PatternNames))
+	for _, n := range PatternNames {
+		ids[n] = p.AddNode(n)
+	}
+	p.AddEdge(ids["PM"], ids["SE"], 3)
+	p.AddEdge(ids["PM"], ids["S"], 4)
+	p.AddEdge(ids["SE"], ids["TE"], 3)
+	return p, ids
+}
+
+// The four updates of Example 2 / Fig. 2, as (from, to, bound) triples to
+// be applied by the caller's update machinery:
+//
+//	UP1: insert pattern edge PM→TE with bound 2
+//	UP2: insert pattern edge S→TE with bound 4
+//	UD1: insert data edge SE1→TE2
+//	UD2: insert data edge DB1→S1
+const (
+	UP1Bound = pattern.Bound(2)
+	UP2Bound = pattern.Bound(4)
+)

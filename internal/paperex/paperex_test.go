@@ -1,0 +1,49 @@
+package paperex
+
+import (
+	"testing"
+
+	"uagpnm/internal/pattern"
+)
+
+func TestDataGraphShape(t *testing.T) {
+	g, ids := DataGraph()
+	if g.NumNodes() != 8 || g.NumEdges() != 12 {
+		t.Fatalf("nodes=%d edges=%d, want 8, 12", g.NumNodes(), g.NumEdges())
+	}
+	if len(ids) != len(Names) {
+		t.Fatalf("ids map has %d entries", len(ids))
+	}
+	// Node order must match the paper's tables.
+	for i, name := range Names {
+		if ids[name] != uint32(i) {
+			t.Fatalf("id(%s) = %d, want %d", name, ids[name], i)
+		}
+	}
+	pm, ok := g.Labels().Lookup("PM")
+	if !ok || len(g.NodesWithLabel(pm)) != 2 {
+		t.Fatal("PM label wrong")
+	}
+}
+
+func TestPatternFixtures(t *testing.T) {
+	g, _ := DataGraph()
+	p1, ids1 := PatternFig1(g.Labels())
+	if p1.NumNodes() != 4 || p1.NumEdges() != 4 || !p1.HasStar() {
+		t.Fatalf("Fig1 pattern: %d nodes %d edges star=%v", p1.NumNodes(), p1.NumEdges(), p1.HasStar())
+	}
+	if b, ok := p1.EdgeBound(ids1["S"], ids1["TE"]); !ok || b != pattern.Star {
+		t.Fatal("Fig1 must carry S→TE(*)")
+	}
+	p2, ids2 := PatternFig2(g.Labels())
+	if p2.NumNodes() != 4 || p2.NumEdges() != 3 || p2.HasStar() {
+		t.Fatalf("Fig2 pattern: %d nodes %d edges", p2.NumNodes(), p2.NumEdges())
+	}
+	if b, ok := p2.EdgeBound(ids2["PM"], ids2["S"]); !ok || b != 4 {
+		t.Fatal("Fig2 must carry PM→S(4)")
+	}
+	// Both patterns share the data graph's label table.
+	if p1.LabelName(ids1["PM"]) != "PM" {
+		t.Fatal("label table not shared")
+	}
+}

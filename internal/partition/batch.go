@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/updates"
+)
+
+// ApplyDataBatch applies a whole ΔGD sequence — mutating the data graph,
+// the partition subgraphs and the intra-partition engines per update —
+// with a single overlay reconciliation at the end, and returns the
+// per-update affected sets (Aff_N, for DER-II/EH-Tree) plus their union
+// (the batch change log the amendment seeds on).
+//
+// Affected sets are the conservative ball supersets: deletions take
+// their balls in the pre-batch state (covering every pair whose original
+// shortest path used the deleted element), insertions in the post-batch
+// state (covering every pair whose new shortest path uses the inserted
+// edge). Any pair whose distance differs between the original and final
+// state is witnessed by one of the two, so the union seeds the amendment
+// exactly as the per-update API would — at a fraction of the overlay
+// maintenance cost, which is what UA-GPNM's batching buys (§VI).
+func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set) {
+	perUpdate = make([]nodeset.Set, len(ds))
+
+	// Phase 1: pre-state balls for deletions (nothing applied yet).
+	for i, u := range ds {
+		switch u.Kind {
+		case updates.DataEdgeDelete:
+			if g.HasEdge(u.From, u.To) {
+				perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
+			}
+		case updates.DataNodeDelete:
+			if g.Alive(u.Node) {
+				perUpdate[i] = e.nodeAffected(u.Node, g.Out(u.Node), g.In(u.Node))
+			}
+		}
+	}
+
+	// Phase 2: structural application in update order; the overlay is
+	// left stale, accumulating dirty anchors.
+	var dirty nodeset.Builder
+	applied := make([]bool, len(ds))
+	for i, u := range ds {
+		switch u.Kind {
+		case updates.DataEdgeInsert:
+			if g.AddEdge(u.From, u.To) {
+				e.insertEdgeStructural(u.From, u.To, &dirty)
+				applied[i] = true
+			}
+		case updates.DataEdgeDelete:
+			if g.RemoveEdge(u.From, u.To) {
+				e.deleteEdgeStructural(u.From, u.To, &dirty)
+				applied[i] = true
+			}
+		case updates.DataNodeInsert:
+			if id := g.AddNode(u.Labels...); id != u.Node {
+				panic("partition: batch node insert id mismatch")
+			}
+			e.insertNodeStructural(u.Node)
+			applied[i] = true
+		case updates.DataNodeDelete:
+			if removed, ok := g.RemoveNode(u.Node); ok {
+				e.deleteNodeStructural(u.Node, removed, &dirty)
+				applied[i] = true
+			}
+		default:
+			panic("partition: ApplyDataBatch on pattern update " + u.String())
+		}
+	}
+
+	// Phase 3: one overlay reconciliation for the whole batch; the
+	// materialised row caches are stale either way.
+	if dirty.Len() > 0 {
+		e.ov.recompute(dirty.Set())
+	}
+	e.invalidate()
+
+	// Phase 4: post-state balls for insertions; assemble the change log.
+	var log nodeset.Builder
+	for i, u := range ds {
+		if !applied[i] {
+			continue
+		}
+		switch u.Kind {
+		case updates.DataEdgeInsert:
+			perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
+		case updates.DataNodeInsert:
+			perUpdate[i] = nodeset.New(u.Node)
+		}
+		log.AddAll(perUpdate[i])
+	}
+	return perUpdate, log.Set()
+}

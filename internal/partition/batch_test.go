@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/updates"
+)
+
+// makeBatch builds a consistent data-update batch against g: a few edge
+// inserts and deletes, a node insert and a node delete.
+func makeBatch(rng *rand.Rand, g *graph.Graph, live []uint32, newID, victim uint32) []updates.Update {
+	var b []updates.Update
+	for i := 0; i < 4; i++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if u != v && !g.HasEdge(u, v) && u != victim && v != victim {
+			b = append(b, updates.Update{Kind: updates.DataEdgeInsert, From: u, To: v})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		u := live[rng.Intn(len(live))]
+		if out := g.Out(u); len(out) > 0 && u != victim {
+			v := out[rng.Intn(len(out))]
+			if v != victim && !inBatch(b, u, v) {
+				b = append(b, updates.Update{Kind: updates.DataEdgeDelete, From: u, To: v})
+			}
+		}
+	}
+	b = append(b,
+		updates.Update{Kind: updates.DataNodeInsert, Node: newID, Labels: []string{"A"}},
+		updates.Update{Kind: updates.DataEdgeInsert, From: newID, To: live[0]},
+		updates.Update{Kind: updates.DataNodeDelete, Node: victim},
+	)
+	return b
+}
+
+func inBatch(b []updates.Update, u, v uint32) bool {
+	for _, x := range b {
+		if x.From == u && x.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// applySingles replays a batch through the per-update engine API.
+func applySingles(t *testing.T, b []updates.Update, g *graph.Graph, e *Engine) {
+	t.Helper()
+	for _, u := range b {
+		updates.ApplyData(u, g, e)
+	}
+}
+
+// TestApplyDataBatchAffectedCoverage: the union of the batch's per-update
+// affected sets must cover every pair whose distance actually changed —
+// the seeding invariant of the single-pass amendment.
+func TestApplyDataBatchAffectedCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		g := homophilousGraph(rng, 25, 75, 3, 0.8)
+		e := NewEngine(g, 3)
+		e.Build()
+		// Snapshot original distances.
+		n0 := g.NumIDs()
+		before := make(map[[2]uint32]uint16)
+		for u := uint32(0); int(u) < n0; u++ {
+			for v := uint32(0); int(v) < n0; v++ {
+				before[[2]uint32{u, v}] = e.Dist(u, v)
+			}
+		}
+		var live []uint32
+		g.Nodes(func(id uint32) { live = append(live, id) })
+		batch := makeBatch(rng, g, live, uint32(g.NumIDs()), live[rng.Intn(len(live))])
+		_, changeLog := e.ApplyDataBatch(batch, g)
+		logBits := nodeset.NewBits(g.NumIDs())
+		logBits.AddSet(changeLog)
+		for u := uint32(0); int(u) < n0; u++ {
+			for v := uint32(0); int(v) < n0; v++ {
+				if before[[2]uint32{u, v}] != e.Dist(u, v) {
+					if !logBits.Contains(u) && !logBits.Contains(v) {
+						t.Fatalf("trial %d: changed pair (%d,%d) has neither endpoint in the change log",
+							trial, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDataBatchNoOps: updates that cannot apply (duplicate edges,
+// dead targets) yield nil sets and leave the oracle consistent.
+func TestApplyDataBatchNoOps(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	batch := []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: ids["SE1"], To: ids["SE2"]}, // exists
+		{Kind: updates.DataEdgeDelete, From: ids["SE4"], To: ids["SE1"]}, // absent
+		{Kind: updates.DataNodeDelete, Node: 9999},                       // unknown
+	}
+	perUpdate, changeLog := e.ApplyDataBatch(batch, g)
+	for i, s := range perUpdate {
+		if s != nil {
+			t.Errorf("no-op update %d produced set %v", i, s)
+		}
+	}
+	if !changeLog.Empty() {
+		t.Errorf("change log = %v, want empty", changeLog)
+	}
+	assertOracleAgrees(t, e, g, 0, -3)
+}

@@ -1,0 +1,631 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+)
+
+// Engine is the partition-based SLen substrate (§V): per-partition intra
+// distances plus the bridge overlay, answering global distance queries by
+// stitching
+//
+//	d(x,y) = min( d_intra(x,y) [same partition],
+//	              min_{u ∈ exits(x), b ∈ entries(y)}
+//	                  d_intra(x,u) + d_overlay(u,b) + d_intra(b,y) ),
+//
+// which is exact (DESIGN.md §4): any path decomposes into intra segments
+// joined by cross edges, and the overlay's Dijkstra minimises over all
+// such compositions. Updates stay local: an intra-partition change
+// touches one partition engine (and the overlay only when bridge-node
+// distances move); a cross edge touches only the overlay.
+//
+// Engine implements shortest.DistanceEngine; affected sets are the
+// conservative ball supersets documented on each method.
+type Engine struct {
+	part    *Partitioning
+	ov      *overlay
+	horizon int
+
+	denseThreshold int
+	ellWidth       int
+	stitched       bool // assemble cached rows via §V stitching
+
+	ball ballScratch // stitched-ball scratch (engine is single-goroutine)
+
+	// Materialised stitched rows, keyed by source node, built lazily at
+	// the full horizon on first query and dropped on any mutation. The
+	// matching fixpoint queries the same sources many times per
+	// amendment; caching makes repeat queries a plain row scan, as they
+	// would be on a materialised global SLen, while maintenance keeps
+	// the partition-local cost profile.
+	fwdCache map[uint32][]ballEntry
+	revCache map[uint32][]ballEntry
+
+	gball *shortest.GraphBall // adjacency BFS for affected-set balls
+}
+
+// invalidate drops the materialised row caches after any mutation.
+func (e *Engine) invalidate() {
+	e.fwdCache = nil
+	e.revCache = nil
+}
+
+// Option configures the partition engine.
+type Option func(*Engine)
+
+// WithDenseThreshold forwards the dense-matrix threshold to the
+// per-partition engines.
+func WithDenseThreshold(n int) Option { return func(e *Engine) { e.denseThreshold = n } }
+
+// WithELLWidth forwards the hybrid ELL width to the per-partition engines.
+func WithELLWidth(k int) Option { return func(e *Engine) { e.ellWidth = k } }
+
+// WithStitchedQueries makes cache-miss ball rows assemble through the
+// partition structures (intra + overlay) instead of a direct bounded
+// BFS. Results are identical; this exists to exercise and measure the
+// literal §V computation.
+func WithStitchedQueries() Option { return func(e *Engine) { e.stitched = true } }
+
+// NewEngine creates a partition-based SLen engine over g with the given
+// hop horizon (0 = exact). Call Build before querying.
+//
+// The per-partition engines default to the hybrid sparse backend even
+// for small partitions (denseThreshold 0): stitched queries iterate
+// intra rows constantly, and hybrid rows cost O(ball) per scan where
+// dense rows cost O(|Pi|).
+func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
+	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8}
+	for _, o := range opts {
+		o(e)
+	}
+	e.part = newPartitioning(g, horizon, e.denseThreshold, e.ellWidth)
+	e.ov = newOverlay(e.part)
+	e.gball = shortest.NewGraphBall()
+	return e
+}
+
+// Build computes every partition's intra distances and the overlay APSP.
+func (e *Engine) Build() {
+	e.part.buildEngines()
+	e.ov.build()
+	e.invalidate()
+}
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.part.g }
+
+// Partitioning exposes the partition structure (stats, bridge nodes).
+func (e *Engine) Partitioning() *Partitioning { return e.part }
+
+// Horizon reports the hop cap (0 = exact).
+func (e *Engine) Horizon() int { return e.horizon }
+
+// Exact reports whether the engine represents unbounded distances.
+func (e *Engine) Exact() bool { return e.horizon == 0 }
+
+func (e *Engine) capHops() int {
+	if e.horizon == 0 {
+		return int(shortest.Inf) - 1
+	}
+	return e.horizon
+}
+
+// oracleAlive reports whether id is represented in the partition
+// structure (it may briefly diverge from graph liveness mid-update;
+// the oracle's own state is authoritative for distance queries).
+func (e *Engine) oracleAlive(id uint32) bool { return e.part.partIndex(id) != none }
+
+// Dist returns the stitched shortest path length from x to y.
+func (e *Engine) Dist(x, y uint32) shortest.Dist {
+	if !e.oracleAlive(x) || !e.oracleAlive(y) {
+		return shortest.Inf
+	}
+	if x == y {
+		return 0
+	}
+	H := e.capHops()
+	best := int(shortest.Inf)
+	if e.part.partIndex(x) == e.part.partIndex(y) {
+		if d := e.part.intraDist(x, y); d != shortest.Inf {
+			best = int(d)
+		}
+	}
+	e.exitsOf(x, H-1, func(u uint32, du shortest.Dist) {
+		e.ov.fwd.Row(u, func(b uint32, dov shortest.Dist) bool {
+			if int(du)+int(dov) >= best {
+				return true
+			}
+			if !e.part.isEntry(b) {
+				return true
+			}
+			// d_intra(b, y): only same-partition b help.
+			if e.part.partIndex(b) != e.part.partIndex(y) {
+				return true
+			}
+			if db := e.part.intraDist(b, y); db != shortest.Inf {
+				if t := int(du) + int(dov) + int(db); t < best {
+					best = t
+				}
+			}
+			return true
+		})
+		// b == u is not in u's overlay row; the case "exit u, then 0
+		// overlay hops" is the intra case already covered.
+	})
+	if best > H {
+		return shortest.Inf
+	}
+	return shortest.Dist(best)
+}
+
+// exitsOf visits the exit bridge nodes within maxD intra hops of x
+// (x itself included at 0 when it is an exit).
+func (e *Engine) exitsOf(x uint32, maxD int, fn func(u uint32, d shortest.Dist)) {
+	if maxD < 0 {
+		return
+	}
+	pi := e.part.partIndex(x)
+	if pi == none {
+		return
+	}
+	pt := e.part.parts[pi]
+	pt.eng.ForwardBall(e.part.localOf[x], maxD, func(local uint32, d shortest.Dist) bool {
+		gid := pt.globals[local]
+		if e.part.isExit(gid) {
+			fn(gid, d)
+		}
+		return true
+	})
+}
+
+// entriesTo visits the entry bridge nodes from which y is within maxD
+// intra hops (y itself included at 0 when it is an entry).
+func (e *Engine) entriesTo(y uint32, maxD int, fn func(b uint32, d shortest.Dist)) {
+	if maxD < 0 {
+		return
+	}
+	pi := e.part.partIndex(y)
+	if pi == none {
+		return
+	}
+	pt := e.part.parts[pi]
+	pt.eng.ReverseBall(e.part.localOf[y], maxD, func(local uint32, d shortest.Dist) bool {
+		gid := pt.globals[local]
+		if e.part.isEntry(gid) {
+			fn(gid, d)
+		}
+		return true
+	})
+}
+
+// WithinHops reports d(x,y) ≤ k (k must be ≤ Horizon when capped).
+func (e *Engine) WithinHops(x, y uint32, k int) bool {
+	if e.horizon != 0 && k > e.horizon {
+		panic(fmt.Sprintf("partition: WithinHops(%d) beyond horizon %d", k, e.horizon))
+	}
+	d := e.Dist(x, y)
+	return d != shortest.Inf && int(d) <= k
+}
+
+// Reachable reports whether y is reachable from x within the horizon.
+func (e *Engine) Reachable(x, y uint32) bool { return e.Dist(x, y) != shortest.Inf }
+
+// ForwardBall visits {v : d(x,v) ≤ k} in ascending id order.
+func (e *Engine) ForwardBall(x uint32, k int, fn func(v uint32, d shortest.Dist) bool) {
+	e.cachedBall(x, k, false, fn)
+}
+
+// ReverseBall visits {s : d(s,y) ≤ k} in ascending id order.
+func (e *Engine) ReverseBall(y uint32, k int, fn func(s uint32, d shortest.Dist) bool) {
+	e.cachedBall(y, k, true, fn)
+}
+
+// cachedBall serves a ball query from the materialised row cache,
+// building the full-horizon stitched row on a miss.
+func (e *Engine) cachedBall(x uint32, k int, reverse bool, fn func(v uint32, d shortest.Dist) bool) {
+	if k < 0 || !e.oracleAlive(x) {
+		return
+	}
+	cache := &e.fwdCache
+	if reverse {
+		cache = &e.revCache
+	}
+	if *cache == nil {
+		*cache = make(map[uint32][]ballEntry)
+	}
+	row, ok := (*cache)[x]
+	if !ok {
+		row = e.buildRow(x, reverse)
+		(*cache)[x] = row
+	}
+	for _, en := range row {
+		if int(en.d) <= k {
+			if !fn(en.id, en.d) {
+				return
+			}
+		}
+	}
+}
+
+// buildRow materialises the full-horizon row of x for the cache. By
+// default the row comes from a bounded BFS over the data graph — exact,
+// and the cheapest way to materialise one row of the capped SLen.
+// WithStitchedQueries switches to assembling the row from the §V
+// structures (intra distances + bridge overlay); the two agree entry for
+// entry (enforced by tests), the stitched path being what Dist uses for
+// point queries either way.
+func (e *Engine) buildRow(x uint32, reverse bool) []ballEntry {
+	if e.stitched {
+		var row []ballEntry
+		e.ballInto(x, e.capHops(), reverse, func(v uint32, d shortest.Dist) bool {
+			row = append(row, ballEntry{v, d})
+			return true
+		})
+		return row
+	}
+	cols, dists := e.gball.Row(e.part.g, x, e.horizon, reverse) // horizon 0 = unbounded
+	row := make([]ballEntry, len(cols))
+	for i, c := range cols {
+		row[i] = ballEntry{c, dists[i]}
+	}
+	return row
+}
+
+// ballScratch is epoch-stamped per-engine scratch for stitched ball
+// queries: visiting is O(touched), not O(|N|), with no per-call maps.
+type ballScratch struct {
+	dist  []shortest.Dist
+	stamp []uint32
+	epoch uint32
+	ids   []uint32
+}
+
+func (s *ballScratch) begin(n int) {
+	for len(s.dist) < n {
+		s.dist = append(s.dist, 0)
+		s.stamp = append(s.stamp, 0)
+	}
+	s.epoch++
+	s.ids = s.ids[:0]
+}
+
+func (s *ballScratch) merge(id uint32, d shortest.Dist) {
+	if int(id) >= len(s.stamp) {
+		grow := int(id) + 1 - len(s.stamp)
+		s.dist = append(s.dist, make([]shortest.Dist, grow)...)
+		s.stamp = append(s.stamp, make([]uint32, grow)...)
+	}
+	if s.stamp[id] != s.epoch {
+		s.stamp[id] = s.epoch
+		s.dist[id] = d
+		s.ids = append(s.ids, id)
+	} else if d < s.dist[id] {
+		s.dist[id] = d
+	}
+}
+
+func (e *Engine) ballInto(x uint32, k int, reverse bool, fn func(v uint32, d shortest.Dist) bool) {
+	if !e.oracleAlive(x) || k < 0 {
+		return
+	}
+	if e.horizon != 0 && k > e.horizon {
+		k = e.horizon
+	}
+	sc := &e.ball
+	sc.begin(e.part.g.NumIDs())
+	merge := sc.merge
+	// Intra segment.
+	pi := e.part.partIndex(x)
+	pt := e.part.parts[pi]
+	intraBall := pt.eng.ForwardBall
+	if reverse {
+		intraBall = pt.eng.ReverseBall
+	}
+	intraBall(e.part.localOf[x], k, func(local uint32, d shortest.Dist) bool {
+		merge(pt.globals[local], d)
+		return true
+	})
+	// Overlay-mediated segments.
+	bridgesNear := e.exitsOf
+	ovRow := e.ov.fwd
+	farEnd := e.part.isEntry
+	if reverse {
+		bridgesNear = e.entriesTo
+		ovRow = e.ov.rev
+		farEnd = e.part.isExit
+	}
+	bridgesNear(x, k-1, func(u uint32, du shortest.Dist) {
+		ovRow.Row(u, func(b uint32, dov shortest.Dist) bool {
+			rem := k - int(du) - int(dov)
+			if rem < 0 || !farEnd(b) {
+				return true
+			}
+			bp := e.part.parts[e.part.partIndex(b)]
+			farBall := bp.eng.ForwardBall
+			if reverse {
+				farBall = bp.eng.ReverseBall
+			}
+			farBall(e.part.localOf[b], rem, func(local uint32, d shortest.Dist) bool {
+				merge(bp.globals[local], du+dov+d)
+				return true
+			})
+			return true
+		})
+	})
+	// Snapshot before emitting: callbacks may issue nested ball queries
+	// (the elimination cascade does), which re-enter the scratch.
+	out := make([]ballEntry, len(sc.ids))
+	for i, id := range sc.ids {
+		out[i] = ballEntry{id, sc.dist[id]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	for _, en := range out {
+		if !fn(en.id, en.d) {
+			return
+		}
+	}
+}
+
+type ballEntry struct {
+	id uint32
+	d  shortest.Dist
+}
+
+// conservativeEdgeAffected is the ball superset used as the affected set
+// of an edge update: everything that reaches u within H-1 plus everything
+// within H-1 of v (plus the endpoints). For insertions these balls are
+// identical before and after the update (a new path to u via (u,v) would
+// cycle through u), so one formula serves preview and apply; for
+// deletions they are evaluated in the pre-delete state, which covers
+// every pair whose old shortest path used the edge. The balls come from
+// a direct BFS over the data graph — the graph always reflects the same
+// state as the oracle, and adjacency BFS is far cheaper than stitching.
+func (e *Engine) conservativeEdgeAffected(u, v uint32) nodeset.Set {
+	H := e.capHops()
+	var b nodeset.Builder
+	b.Add(u)
+	b.Add(v)
+	for _, x := range e.gball.Ball(e.part.g, u, H-1, true) {
+		b.Add(x)
+	}
+	for _, y := range e.gball.Ball(e.part.g, v, H-1, false) {
+		b.Add(y)
+	}
+	return b.Set()
+}
+
+// PreviewInsertEdge returns the affected superset for inserting (u,v)
+// without mutating anything.
+func (e *Engine) PreviewInsertEdge(u, v uint32) nodeset.Set {
+	return e.conservativeEdgeAffected(u, v)
+}
+
+// InsertEdge synchronises the substrate after edge (u,v) was added to
+// the graph and returns the affected superset.
+func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
+	var dirty nodeset.Builder
+	e.insertEdgeStructural(u, v, &dirty)
+	if dirty.Len() > 0 {
+		e.ov.recompute(dirty.Set())
+	}
+	e.invalidate()
+	return e.conservativeEdgeAffected(u, v)
+}
+
+// insertEdgeStructural records edge (u,v) in the partition structures
+// (the graph must already contain it), accumulating dirty overlay
+// anchors without reconciling the overlay.
+func (e *Engine) insertEdgeStructural(u, v uint32, dirty *nodeset.Builder) {
+	pu, pv := e.part.partIndex(u), e.part.partIndex(v)
+	if pu == pv {
+		pt := e.part.parts[pu]
+		lu, lv := e.part.localOf[u], e.part.localOf[v]
+		pt.sub.AddEdge(lu, lv)
+		intraAff := pt.eng.InsertEdge(lu, lv)
+		e.dirtyBridges(pt, intraAff, dirty)
+	} else {
+		e.part.noteCross(u, v, +1)
+		dirty.Add(u)
+		dirty.Add(v)
+	}
+}
+
+// dirtyBridges translates a partition-local affected set into the global
+// bridge nodes whose overlay rows must be refreshed.
+func (e *Engine) dirtyBridges(pt *part, localAff nodeset.Set, dirty *nodeset.Builder) {
+	for _, local := range localAff {
+		gid := pt.globals[local]
+		if e.part.isOverlay(gid) {
+			dirty.Add(gid)
+		}
+	}
+}
+
+// PreviewDeleteEdge returns the affected superset for deleting (u,v)
+// without mutating anything (the graph must still contain the edge).
+func (e *Engine) PreviewDeleteEdge(u, v uint32) nodeset.Set {
+	return e.conservativeEdgeAffected(u, v)
+}
+
+// DeleteEdge synchronises the substrate after edge (u,v) was removed
+// from the graph and returns the affected superset (evaluated in the
+// pre-delete state).
+func (e *Engine) DeleteEdge(u, v uint32) nodeset.Set {
+	aff := e.conservativeEdgeAffected(u, v)
+	var dirty nodeset.Builder
+	e.deleteEdgeStructural(u, v, &dirty)
+	e.ov.recompute(dirty.Set())
+	e.invalidate()
+	return aff
+}
+
+// deleteEdgeStructural removes edge (u,v) from the partition structures
+// (the graph must already have dropped it), accumulating dirty anchors.
+func (e *Engine) deleteEdgeStructural(u, v uint32, dirty *nodeset.Builder) {
+	pu, pv := e.part.partIndex(u), e.part.partIndex(v)
+	if pu == pv {
+		pt := e.part.parts[pu]
+		lu, lv := e.part.localOf[u], e.part.localOf[v]
+		pt.sub.RemoveEdge(lu, lv)
+		intraAff := pt.eng.DeleteEdge(lu, lv)
+		e.dirtyBridges(pt, intraAff, dirty)
+		dirty.Add(u)
+		dirty.Add(v)
+	} else {
+		e.part.noteCross(u, v, -1)
+		dirty.Add(u)
+		dirty.Add(v)
+	}
+}
+
+// InsertNode registers a freshly added (isolated) node.
+func (e *Engine) InsertNode(id uint32) nodeset.Set {
+	e.insertNodeStructural(id)
+	e.invalidate()
+	return nodeset.New(id)
+}
+
+func (e *Engine) insertNodeStructural(id uint32) {
+	pi := e.part.addToPart(id)
+	pt := e.part.parts[pi]
+	if pt.eng == nil {
+		pt.eng = shortest.NewEngine(pt.sub, e.horizon,
+			shortest.WithDenseThreshold(e.denseThreshold),
+			shortest.WithELLWidth(e.ellWidth))
+		pt.eng.Build()
+	} else {
+		pt.eng.InsertNode(e.part.localOf[id])
+	}
+}
+
+// PreviewDeleteNode returns the affected superset for deleting node id
+// (the graph must still contain it).
+func (e *Engine) PreviewDeleteNode(id uint32) nodeset.Set {
+	return e.nodeAffected(id, e.part.g.Out(id), e.part.g.In(id))
+}
+
+func (e *Engine) nodeAffected(id uint32, outs, ins []uint32) nodeset.Set {
+	H := e.capHops()
+	g := e.part.g
+	var b nodeset.Builder
+	b.Add(id)
+	for _, y := range e.gball.Ball(g, id, H, false) {
+		b.Add(y)
+	}
+	for _, x := range e.gball.Ball(g, id, H, true) {
+		b.Add(x)
+	}
+	for _, v := range outs {
+		for _, y := range e.gball.Ball(g, v, H-1, false) {
+			b.Add(y)
+		}
+	}
+	for _, u := range ins {
+		for _, x := range e.gball.Ball(g, u, H-1, true) {
+			b.Add(x)
+		}
+	}
+	return b.Set()
+}
+
+// DeleteNode synchronises the substrate after node id (with incident
+// edges removed, as returned by graph.RemoveNode) was deleted.
+func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
+	var outs, ins []uint32
+	for _, ed := range removed {
+		if ed.From == id {
+			outs = append(outs, ed.To)
+		} else {
+			ins = append(ins, ed.From)
+		}
+	}
+	aff := e.nodeAffected(id, outs, ins)
+	var dirty nodeset.Builder
+	e.deleteNodeStructural(id, removed, &dirty)
+	e.ov.recompute(dirty.Set())
+	e.invalidate()
+	return aff
+}
+
+// deleteNodeStructural removes node id from the partition structures
+// (the graph must already have dropped it and its incident edges,
+// passed as removed), accumulating dirty anchors.
+func (e *Engine) deleteNodeStructural(id uint32, removed []graph.Edge, dirty *nodeset.Builder) {
+	pi := e.part.partIndex(id)
+	pt := e.part.parts[pi]
+	dirty.Add(id)
+	for _, ed := range removed {
+		if e.part.partIndex(ed.From) == e.part.partIndex(ed.To) {
+			continue // intra edges fall with RemoveNode below
+		}
+		e.part.noteCross(ed.From, ed.To, -1)
+		dirty.Add(ed.From)
+		dirty.Add(ed.To)
+	}
+	local := e.part.localOf[id]
+	removedLocal, _ := pt.sub.RemoveNode(local)
+	intraAff := pt.eng.DeleteNode(local, removedLocal)
+	e.dirtyBridges(pt, intraAff, dirty)
+	e.part.partOf[id] = none
+}
+
+// EnsureHorizon widens a capped engine to cover bound k.
+func (e *Engine) EnsureHorizon(k int) {
+	if e.horizon == 0 || k <= e.horizon {
+		return
+	}
+	e.horizon = k
+	e.part.horizon = k
+	for _, pt := range e.part.parts {
+		pt.eng.EnsureHorizon(k)
+	}
+	e.ov.build()
+	e.invalidate()
+}
+
+// CloneFor returns an independent copy of the engine operating on g2,
+// a clone of the engine's graph.
+func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
+	c := &Engine{horizon: e.horizon, denseThreshold: e.denseThreshold, ellWidth: e.ellWidth, stitched: e.stitched}
+	p := e.part
+	cp := &Partitioning{
+		g:              g2,
+		horizon:        p.horizon,
+		partOf:         append([]int32(nil), p.partOf...),
+		localOf:        append([]uint32(nil), p.localOf...),
+		byLabel:        make(map[graph.LabelID]int32, len(p.byLabel)),
+		crossOut:       append([]int32(nil), p.crossOut...),
+		crossIn:        append([]int32(nil), p.crossIn...),
+		denseThreshold: p.denseThreshold,
+		ellWidth:       p.ellWidth,
+	}
+	for k, v := range p.byLabel {
+		cp.byLabel[k] = v
+	}
+	for _, pt := range p.parts {
+		sub := pt.sub.Clone()
+		cp.parts = append(cp.parts, &part{
+			label:   pt.label,
+			sub:     sub,
+			eng:     pt.eng.Clone(sub),
+			globals: append([]uint32(nil), pt.globals...),
+			exits:   append([]uint32(nil), pt.exits...),
+			entries: append([]uint32(nil), pt.entries...),
+		})
+	}
+	c.part = cp
+	c.ov = &overlay{
+		p:   cp,
+		fwd: e.ov.fwd.Clone(),
+		rev: e.ov.rev.Clone(),
+	}
+	c.gball = shortest.NewGraphBall()
+	return c
+}
+
+// compile-time interface check
+var _ shortest.DistanceEngine = (*Engine)(nil)

@@ -1,0 +1,311 @@
+package partition
+
+import (
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+)
+
+// overlay is the weighted bridge graph gluing the partitions together.
+// Its nodes are the bridge nodes (exits and entries, by global id); its
+// edges are
+//
+//   - every cross-partition data edge (weight 1), and
+//   - entry → exit hops within one partition (weight = intra-partition
+//     shortest path length),
+//
+// and it materialises capped all-pairs distances between bridge nodes in
+// fwd (with a transposed mirror in rev), maintained by scoped
+// recomputation after each update batch.
+//
+// Adjacency is never materialised: Dijkstra asks the partitioning for
+// neighbours live, so intra-distance changes are picked up for free.
+type overlay struct {
+	p        *Partitioning
+	fwd, rev shortest.Matrix
+
+	// epoch-stamped Dijkstra scratch
+	heap    dijkstraHeap
+	dist    []shortest.Dist
+	stamp   []uint32
+	epoch   uint32
+	touched []uint32
+	distRow []shortest.Dist
+	oldCols []uint32
+	oldVals []shortest.Dist
+}
+
+func newOverlay(p *Partitioning) *overlay {
+	n := p.g.NumIDs()
+	o := &overlay{p: p}
+	o.fwd = shortest.NewHybrid(n, 8)
+	o.rev = shortest.NewHybrid(n, 8)
+	return o
+}
+
+func (o *overlay) setDist(id uint32, d shortest.Dist) {
+	if int(id) >= len(o.stamp) {
+		grow := int(id) + 1 - len(o.stamp)
+		o.dist = append(o.dist, make([]shortest.Dist, grow)...)
+		o.stamp = append(o.stamp, make([]uint32, grow)...)
+	}
+	if o.stamp[id] != o.epoch {
+		o.stamp[id] = o.epoch
+		o.touched = append(o.touched, id)
+	}
+	o.dist[id] = d
+}
+
+func (o *overlay) getDist(id uint32) (shortest.Dist, bool) {
+	if int(id) >= len(o.stamp) || o.stamp[id] != o.epoch {
+		return 0, false
+	}
+	return o.dist[id], true
+}
+
+func (o *overlay) cap() int {
+	if o.p.horizon == 0 {
+		return int(shortest.Inf) - 1
+	}
+	return o.p.horizon
+}
+
+// neighbors visits the overlay successors of u with their weights:
+// cross edges out of an exit (weight 1) and, for an entry, the exits of
+// its partition reachable intra-partition — enumerated by scanning u's
+// intra distance row (O(ball)) rather than the partition's exit list
+// (O(|IB|) Gets), which dominates reconciliation cost otherwise.
+func (o *overlay) neighbors(u uint32, fn func(v uint32, w shortest.Dist)) {
+	p := o.p
+	if p.isExit(u) {
+		pu := p.partOf[u]
+		for _, v := range p.g.Out(u) {
+			if p.partIndex(v) != pu {
+				fn(v, 1)
+			}
+		}
+	}
+	if p.isEntry(u) {
+		pt := p.parts[p.partOf[u]]
+		pt.eng.ForwardBall(p.localOf[u], o.cap(), func(local uint32, w shortest.Dist) bool {
+			gid := pt.globals[local]
+			if gid != u && p.isExit(gid) {
+				fn(gid, w)
+			}
+			return true
+		})
+	}
+}
+
+// revNeighbors visits the overlay predecessors of u with their weights.
+func (o *overlay) revNeighbors(u uint32, fn func(v uint32, w shortest.Dist)) {
+	p := o.p
+	if p.isEntry(u) {
+		pu := p.partOf[u]
+		for _, v := range p.g.In(u) {
+			if p.partIndex(v) != pu {
+				fn(v, 1)
+			}
+		}
+	}
+	if p.isExit(u) {
+		pt := p.parts[p.partOf[u]]
+		pt.eng.ReverseBall(p.localOf[u], o.cap(), func(local uint32, w shortest.Dist) bool {
+			gid := pt.globals[local]
+			if gid != u && p.isEntry(gid) {
+				fn(gid, w)
+			}
+			return true
+		})
+	}
+}
+
+// dijkstra runs a capped Dijkstra from src over the overlay (reverse
+// follows predecessor edges) and returns ascending (cols, dists),
+// src included at 0. Results alias scratch and are valid until next call.
+func (o *overlay) dijkstra(src uint32, reverse bool) ([]uint32, []shortest.Dist) {
+	H := shortest.Dist(o.cap())
+	o.epoch++
+	o.touched = o.touched[:0]
+	o.heap = o.heap[:0]
+	if !o.p.g.Alive(src) || !o.p.isOverlay(src) {
+		return nil, nil
+	}
+	o.setDist(src, 0)
+	o.heap.push(heapItem{0, src})
+	for len(o.heap) > 0 {
+		it := o.heap.pop()
+		if d, ok := o.getDist(it.id); ok && it.d > d {
+			continue // stale entry
+		}
+		visit := func(v uint32, w shortest.Dist) {
+			nd := it.d + w
+			if nd > H {
+				return
+			}
+			if cur, ok := o.getDist(v); !ok || nd < cur {
+				o.setDist(v, nd)
+				o.heap.push(heapItem{nd, v})
+			}
+		}
+		if reverse {
+			o.revNeighbors(it.id, visit)
+		} else {
+			o.neighbors(it.id, visit)
+		}
+	}
+	nodeset.SortIDs(o.touched)
+	cols := o.touched
+	if cap(o.distRow) < len(cols) {
+		o.distRow = make([]shortest.Dist, len(cols))
+	}
+	dists := o.distRow[:len(cols)]
+	for i, c := range cols {
+		dists[i] = o.dist[c]
+	}
+	return cols, dists
+}
+
+// overlayNodes returns every current bridge node, sorted.
+func (o *overlay) overlayNodes() []uint32 {
+	var b nodeset.Builder
+	for _, pt := range o.p.parts {
+		for _, x := range pt.exits {
+			b.Add(x)
+		}
+		for _, e := range pt.entries {
+			b.Add(e)
+		}
+	}
+	return b.Set()
+}
+
+// build computes all-pairs overlay distances from scratch.
+func (o *overlay) build() {
+	n := o.p.g.NumIDs()
+	o.fwd = shortest.NewHybrid(n, 8)
+	o.rev = shortest.NewHybrid(n, 8)
+	for _, u := range o.overlayNodes() {
+		cols, dists := o.dijkstra(u, false)
+		o.fwd.SetRow(u, cols, dists)
+		for i, c := range cols {
+			o.rev.Set(c, u, dists[i])
+		}
+	}
+}
+
+// dist returns the overlay distance between bridge nodes (Inf otherwise).
+func (o *overlay) distBetween(u, b uint32) shortest.Dist {
+	if u == b && o.p.isOverlay(u) && o.p.g.Alive(u) {
+		return 0
+	}
+	return o.fwd.Get(u, b)
+}
+
+// recompute refreshes overlay rows after a batch whose overlay-relevant
+// changes touch the anchor nodes in dirty (new/removed bridge nodes,
+// bridge nodes of partitions whose intra distances changed, endpoints of
+// added/removed cross edges). Partition subgraphs and counters must
+// already reflect the new state.
+func (o *overlay) recompute(dirty nodeset.Set) {
+	o.fwd.GrowTo(o.p.g.NumIDs())
+	o.rev.GrowTo(o.p.g.NumIDs())
+	// Sources whose rows may change: anything that reached a dirty anchor
+	// under the old metric (old rev rows), anything that reaches it under
+	// the new metric (reverse Dijkstra on the new state), and the anchors
+	// themselves.
+	srcs := nodeset.NewBits(o.p.g.NumIDs())
+	for _, d := range dirty {
+		srcs.Add(d)
+		o.rev.Row(d, func(c uint32, _ shortest.Dist) bool { srcs.Add(c); return true })
+		cols, _ := o.dijkstra(d, true)
+		for _, c := range cols {
+			srcs.Add(c)
+		}
+	}
+	srcs.Range(func(s uint32) bool {
+		var cols []uint32
+		var dists []shortest.Dist
+		if o.p.g.Alive(s) && o.p.isOverlay(s) {
+			cols, dists = o.dijkstra(s, false)
+		}
+		o.installRow(s, cols, dists)
+		return true
+	})
+}
+
+// installRow replaces fwd row s, mirroring deltas into rev.
+func (o *overlay) installRow(s uint32, cols []uint32, dists []shortest.Dist) {
+	o.oldCols = o.oldCols[:0]
+	o.oldVals = o.oldVals[:0]
+	o.fwd.Row(s, func(c uint32, d shortest.Dist) bool {
+		o.oldCols = append(o.oldCols, c)
+		o.oldVals = append(o.oldVals, d)
+		return true
+	})
+	i, j := 0, 0
+	for i < len(o.oldCols) || j < len(cols) {
+		switch {
+		case j == len(cols) || (i < len(o.oldCols) && o.oldCols[i] < cols[j]):
+			o.rev.Set(o.oldCols[i], s, shortest.Inf)
+			i++
+		case i == len(o.oldCols) || cols[j] < o.oldCols[i]:
+			o.rev.Set(cols[j], s, dists[j])
+			j++
+		default:
+			if o.oldVals[i] != dists[j] {
+				o.rev.Set(cols[j], s, dists[j])
+			}
+			i++
+			j++
+		}
+	}
+	o.fwd.SetRow(s, cols, dists)
+}
+
+// heapItem and dijkstraHeap implement a minimal binary min-heap; the
+// overlay is small, so a hand-rolled slice heap beats container/heap's
+// interface indirection.
+type heapItem struct {
+	d  shortest.Dist
+	id uint32
+}
+
+type dijkstraHeap []heapItem
+
+func (h *dijkstraHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].d <= (*h)[i].d {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *dijkstraHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l].d < (*h)[small].d {
+			small = l
+		}
+		if r < last && (*h)[r].d < (*h)[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,421 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+)
+
+// fig4Graph reconstructs the paper's Fig. 4 example: three label
+// partitions PTE = {TE1,TE2,TE3}, PSE = {SE1..SE4}, PPM = {PM1}, with
+// chains inside the partitions and cross edges SE2→TE1, SE1→PM1, PM1→SE4
+// (the edge set implied by Examples 12–15 and Tables VIII–IX).
+func fig4Graph() (*graph.Graph, map[string]uint32) {
+	g := graph.New(nil)
+	ids := map[string]uint32{}
+	add := func(name, label string) {
+		ids[name] = g.AddNode(label)
+	}
+	add("TE1", "TE")
+	add("TE2", "TE")
+	add("TE3", "TE")
+	add("SE1", "SE")
+	add("SE2", "SE")
+	add("SE3", "SE")
+	add("SE4", "SE")
+	add("PM1", "PM")
+	for _, e := range [][2]string{
+		{"TE1", "TE2"}, {"TE2", "TE3"},
+		{"SE1", "SE2"}, {"SE2", "SE3"}, {"SE3", "SE4"},
+		{"SE2", "TE1"}, {"SE1", "PM1"}, {"PM1", "SE4"},
+	} {
+		if !g.AddEdge(ids[e[0]], ids[e[1]]) {
+			panic("fig4: bad edge")
+		}
+	}
+	return g, ids
+}
+
+func TestPaperExample12And13BridgeNodes(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	se, _ := g.Labels().Lookup("SE")
+	ib := e.Partitioning().InnerBridgeNodes(se)
+	wantIB := nodeset.New(ids["SE1"], ids["SE2"])
+	if !nodeset.New(ib...).Equal(wantIB) {
+		t.Errorf("IB(PSE) = %v, want %v", ib, wantIB)
+	}
+	ob := e.Partitioning().OuterBridgeNodes(se)
+	wantOB := nodeset.New(ids["PM1"], ids["TE1"])
+	if !nodeset.New(ob...).Equal(wantOB) {
+		t.Errorf("OB(PSE) = %v, want %v", ob, wantOB)
+	}
+	te, _ := g.Labels().Lookup("TE")
+	if got := e.Partitioning().OuterBridgeNodes(te); len(got) != 0 {
+		t.Errorf("OB(PTE) = %v, want empty", got)
+	}
+}
+
+// TestPaperTableVIII checks the shortest path matrix among the SE nodes
+// (paper Table VIII). d(SE1,SE4) = 2 is the interesting entry: the path
+// leaves PSE through PM1 and returns — the case the bridge overlay must
+// stitch.
+func TestPaperTableVIII(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	want := map[[2]string]int{
+		{"SE1", "SE2"}: 1, {"SE1", "SE3"}: 2, {"SE1", "SE4"}: 2,
+		{"SE2", "SE3"}: 1, {"SE2", "SE4"}: 2,
+		{"SE3", "SE4"}: 1,
+	}
+	names := []string{"SE1", "SE2", "SE3", "SE4"}
+	for _, a := range names {
+		for _, b := range names {
+			wantD := shortest.Inf
+			if a == b {
+				wantD = 0
+			} else if d, ok := want[[2]string{a, b}]; ok {
+				wantD = shortest.Dist(d)
+			}
+			if got := e.Dist(ids[a], ids[b]); got != wantD {
+				t.Errorf("Table VIII d(%s,%s) = %v, want %v", a, b, got, wantD)
+			}
+		}
+	}
+}
+
+// TestPaperTableIX checks the cross-partition matrix PSE → PTE
+// (paper Table IX, Example 15).
+func TestPaperTableIX(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	want := map[[2]string]int{
+		{"SE1", "TE1"}: 2, {"SE1", "TE2"}: 3, {"SE1", "TE3"}: 4,
+		{"SE2", "TE1"}: 1, {"SE2", "TE2"}: 2, {"SE2", "TE3"}: 3,
+	}
+	for _, a := range []string{"SE1", "SE2", "SE3", "SE4"} {
+		for _, b := range []string{"TE1", "TE2", "TE3"} {
+			wantD := shortest.Inf
+			if d, ok := want[[2]string{a, b}]; ok {
+				wantD = shortest.Dist(d)
+			}
+			if got := e.Dist(ids[a], ids[b]); got != wantD {
+				t.Errorf("Table IX d(%s,%s) = %v, want %v", a, b, got, wantD)
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	s := e.Partitioning().ComputeStats()
+	if s.Parts != 3 || s.CrossEdges != 3 || s.IntraEdges != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LargestPart != 4 || s.SmallestPart != 1 {
+		t.Fatalf("part sizes = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// homophilousGraph builds a random labelled graph where a fraction h of
+// edges stay inside a label class — the regime the partition method
+// targets.
+func homophilousGraph(rng *rand.Rand, n, m, labels int, h float64) *graph.Graph {
+	g := graph.New(nil)
+	labelNames := make([]string, labels)
+	for i := range labelNames {
+		labelNames[i] = string(rune('A' + i))
+	}
+	byLabel := make([][]uint32, labels)
+	for i := 0; i < n; i++ {
+		l := rng.Intn(labels)
+		id := g.AddNode(labelNames[l])
+		byLabel[l] = append(byLabel[l], id)
+	}
+	for i := 0; i < m; i++ {
+		l := rng.Intn(labels)
+		if len(byLabel[l]) < 2 {
+			continue
+		}
+		u := byLabel[l][rng.Intn(len(byLabel[l]))]
+		var v uint32
+		if rng.Float64() < h {
+			v = byLabel[l][rng.Intn(len(byLabel[l]))]
+		} else {
+			v = uint32(rng.Intn(n))
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// assertOracleAgrees compares the partition engine against the global
+// engine on every pair and on ball queries.
+func assertOracleAgrees(t *testing.T, pe *Engine, g *graph.Graph, horizon int, step int) {
+	t.Helper()
+	ge := shortest.NewEngine(g, horizon)
+	ge.Build()
+	n := g.NumIDs()
+	for u := uint32(0); int(u) < n; u++ {
+		for v := uint32(0); int(v) < n; v++ {
+			if got, want := pe.Dist(u, v), ge.Dist(u, v); got != want {
+				t.Fatalf("step %d: d(%d,%d) = %v, want %v", step, u, v, got, want)
+			}
+		}
+	}
+	k := horizon
+	if k == 0 {
+		k = 4
+	}
+	for u := uint32(0); int(u) < n; u++ {
+		var pb, gb []uint32
+		pe.ForwardBall(u, k, func(v uint32, d shortest.Dist) bool {
+			pb = append(pb, v)
+			if want := ge.Dist(u, v); want != d {
+				t.Fatalf("step %d: fwd ball d(%d,%d) = %v, want %v", step, u, v, d, want)
+			}
+			return true
+		})
+		ge.ForwardBall(u, k, func(v uint32, d shortest.Dist) bool { gb = append(gb, v); return true })
+		if !nodeset.New(pb...).Equal(nodeset.New(gb...)) {
+			t.Fatalf("step %d: fwd ball(%d) %v != %v", step, u, pb, gb)
+		}
+		pb, gb = nil, nil
+		pe.ReverseBall(u, k, func(v uint32, d shortest.Dist) bool { pb = append(pb, v); return true })
+		ge.ReverseBall(u, k, func(v uint32, d shortest.Dist) bool { gb = append(gb, v); return true })
+		if !nodeset.New(pb...).Equal(nodeset.New(gb...)) {
+			t.Fatalf("step %d: rev ball(%d) %v != %v", step, u, pb, gb)
+		}
+	}
+}
+
+func TestStitchedDistanceMatchesGlobal(t *testing.T) {
+	for _, cfg := range []struct {
+		name    string
+		horizon int
+		h       float64
+	}{
+		{"exact-homophilous", 0, 0.9},
+		{"capped3-homophilous", 3, 0.9},
+		{"capped3-mixed", 3, 0.5},
+		{"capped2-hostile", 2, 0.1},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 3; trial++ {
+				g := homophilousGraph(rng, 40, 120, 4, cfg.h)
+				pe := NewEngine(g, cfg.horizon)
+				pe.Build()
+				assertOracleAgrees(t, pe, g, cfg.horizon, -trial)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesGlobal drives a random update stream through the
+// partition engine and checks it against a freshly built global engine at
+// every checkpoint — the package's central differential test.
+func TestIncrementalMatchesGlobal(t *testing.T) {
+	for _, cfg := range []struct {
+		name    string
+		horizon int
+	}{
+		{"exact", 0},
+		{"capped3", 3},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			g := homophilousGraph(rng, 30, 80, 3, 0.8)
+			pe := NewEngine(g, cfg.horizon)
+			pe.Build()
+			var live []uint32
+			reap := func() {
+				live = live[:0]
+				g.Nodes(func(id uint32) { live = append(live, id) })
+			}
+			reap()
+			labels := []string{"A", "B", "C", "Z"} // Z exercises new-partition creation
+			for step := 0; step < 80; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4:
+					u := live[rng.Intn(len(live))]
+					v := live[rng.Intn(len(live))]
+					if g.AddEdge(u, v) {
+						pe.InsertEdge(u, v)
+					}
+				case op < 7:
+					u := live[rng.Intn(len(live))]
+					out := g.Out(u)
+					if len(out) > 0 {
+						v := out[rng.Intn(len(out))]
+						g.RemoveEdge(u, v)
+						pe.DeleteEdge(u, v)
+					}
+				case op < 8:
+					id := g.AddNode(labels[rng.Intn(len(labels))])
+					pe.InsertNode(id)
+					reap()
+					for k := 0; k < 2; k++ {
+						v := live[rng.Intn(len(live))]
+						if g.AddEdge(id, v) {
+							pe.InsertEdge(id, v)
+						}
+						w := live[rng.Intn(len(live))]
+						if g.AddEdge(w, id) {
+							pe.InsertEdge(w, id)
+						}
+					}
+				case op < 9 && len(live) > 5:
+					id := live[rng.Intn(len(live))]
+					removed, _ := g.RemoveNode(id)
+					pe.DeleteNode(id, removed)
+					reap()
+				}
+				if step%10 == 9 {
+					assertOracleAgrees(t, pe, g, cfg.horizon, step)
+				}
+			}
+			assertOracleAgrees(t, pe, g, cfg.horizon, -1)
+		})
+	}
+}
+
+// TestAffectedSupersets checks that the partition engine's conservative
+// affected sets cover the global engine's exact ones — the property the
+// amendment seeding relies on.
+func TestAffectedSupersets(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		g := homophilousGraph(rng, 25, 60, 3, 0.7)
+		pe := NewEngine(g, 3)
+		pe.Build()
+		ge := shortest.NewEngine(g, 3)
+		ge.Build()
+		var live []uint32
+		g.Nodes(func(id uint32) { live = append(live, id) })
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if u != v && !g.HasEdge(u, v) {
+			exact := ge.PreviewInsertEdge(u, v)
+			super := pe.PreviewInsertEdge(u, v)
+			if !super.Covers(exact) {
+				t.Fatalf("insert (%d,%d): %v does not cover %v", u, v, super, exact)
+			}
+		}
+		if out := g.Out(u); len(out) > 0 {
+			w := out[rng.Intn(len(out))]
+			exact := ge.PreviewDeleteEdge(u, w)
+			super := pe.PreviewDeleteEdge(u, w)
+			if !super.Covers(exact) {
+				t.Fatalf("delete (%d,%d): %v does not cover %v", u, w, super, exact)
+			}
+		}
+		exact := ge.PreviewDeleteNode(u)
+		super := pe.PreviewDeleteNode(u)
+		if !super.Covers(exact) {
+			t.Fatalf("delete node %d: %v does not cover %v", u, super, exact)
+		}
+	}
+}
+
+func TestPreviewsDoNotMutate(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	before := e.Dist(ids["SE1"], ids["SE4"])
+	e.PreviewInsertEdge(ids["SE4"], ids["SE1"])
+	e.PreviewDeleteEdge(ids["SE1"], ids["SE2"])
+	e.PreviewDeleteNode(ids["PM1"])
+	if e.Dist(ids["SE1"], ids["SE4"]) != before {
+		t.Fatal("previews mutated distances")
+	}
+}
+
+func TestDeleteBridgeNode(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	// Deleting PM1 removes the leave-and-return shortcut: d(SE1,SE4)
+	// falls back to the intra chain of length 3.
+	removed, _ := g.RemoveNode(ids["PM1"])
+	e.DeleteNode(ids["PM1"], removed)
+	if got := e.Dist(ids["SE1"], ids["SE4"]); got != 3 {
+		t.Fatalf("d(SE1,SE4) after deleting PM1 = %v, want 3", got)
+	}
+	if e.Dist(ids["SE1"], ids["PM1"]) != shortest.Inf {
+		t.Fatal("distances to the deleted node must be Inf")
+	}
+	assertOracleAgrees(t, e, g, 0, -9)
+}
+
+func TestCloneForIndependence(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	g2 := g.Clone()
+	e2 := e.CloneFor(g2)
+	g2.RemoveEdge(ids["PM1"], ids["SE4"])
+	e2.DeleteEdge(ids["PM1"], ids["SE4"])
+	if got := e2.Dist(ids["SE1"], ids["SE4"]); got != 3 {
+		t.Fatalf("clone d(SE1,SE4) = %v, want 3", got)
+	}
+	if got := e.Dist(ids["SE1"], ids["SE4"]); got != 2 {
+		t.Fatalf("original d(SE1,SE4) = %v, want 2 (clone mutation leaked)", got)
+	}
+}
+
+func TestEnsureHorizonPartition(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 2)
+	e.Build()
+	if e.Dist(ids["SE1"], ids["TE3"]) != shortest.Inf {
+		t.Fatal("d(SE1,TE3)=4 must be beyond horizon 2")
+	}
+	e.EnsureHorizon(4)
+	if got := e.Dist(ids["SE1"], ids["TE3"]); got != 4 {
+		t.Fatalf("after widen, d(SE1,TE3) = %v, want 4", got)
+	}
+}
+
+func BenchmarkStitchedDist(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := homophilousGraph(rng, 1000, 5000, 10, 0.9)
+	e := NewEngine(g, 3)
+	e.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Dist(uint32(i%1000), uint32((i*7)%1000))
+	}
+}
+
+func BenchmarkPartitionInsertDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := homophilousGraph(rng, 1000, 5000, 10, 0.9)
+	e := NewEngine(g, 3)
+	e.Build()
+	var live []uint32
+	g.Nodes(func(id uint32) { live = append(live, id) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if g.AddEdge(u, v) {
+			e.InsertEdge(u, v)
+			g.RemoveEdge(u, v)
+			e.DeleteEdge(u, v)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"uagpnm/internal/shortest"
+)
+
+// TestStitchedRowsEqualBFSRows pins the equivalence the row cache relies
+// on: a ball row assembled through the §V structures (intra + overlay)
+// must match the row a bounded BFS reads off the graph, entry for entry.
+func TestStitchedRowsEqualBFSRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 5; trial++ {
+		g := homophilousGraph(rng, 35, 110, 4, 0.75)
+		bfsEng := NewEngine(g, 3)
+		bfsEng.Build()
+		stitchEng := NewEngine(g, 3, WithStitchedQueries())
+		stitchEng.Build()
+		g.Nodes(func(x uint32) {
+			for _, reverse := range []bool{false, true} {
+				a := bfsEng.buildRow(x, reverse)
+				b := stitchEng.buildRow(x, reverse)
+				if len(a) != len(b) {
+					t.Fatalf("trial %d node %d rev=%v: row lengths %d vs %d",
+						trial, x, reverse, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("trial %d node %d rev=%v: entry %d: %v vs %v",
+							trial, x, reverse, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStitchedEngineEndToEnd runs the incremental differential test with
+// stitched queries forced on, so the §V path is exercised under updates.
+func TestStitchedEngineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := homophilousGraph(rng, 25, 70, 3, 0.85)
+	pe := NewEngine(g, 3, WithStitchedQueries())
+	pe.Build()
+	var live []uint32
+	g.Nodes(func(id uint32) { live = append(live, id) })
+	for step := 0; step < 30; step++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if g.AddEdge(u, v) {
+			pe.InsertEdge(u, v)
+		}
+		if out := g.Out(u); len(out) > 0 && step%3 == 0 {
+			w := out[rng.Intn(len(out))]
+			g.RemoveEdge(u, w)
+			pe.DeleteEdge(u, w)
+		}
+	}
+	assertOracleAgrees(t, pe, g, 3, -5)
+}
+
+// TestRowCacheInvalidation ensures a stale cached row never survives a
+// mutation.
+func TestRowCacheInvalidation(t *testing.T) {
+	g, ids := fig4Graph()
+	e := NewEngine(g, 0)
+	e.Build()
+	// Warm the cache.
+	seen := 0
+	e.ForwardBall(ids["SE1"], 4, func(uint32, shortest.Dist) bool { seen++; return true })
+	if seen == 0 {
+		t.Fatal("warmup ball empty")
+	}
+	// Mutate: drop the shortcut through PM1.
+	g.RemoveEdge(ids["PM1"], ids["SE4"])
+	e.DeleteEdge(ids["PM1"], ids["SE4"])
+	// d(SE1,SE4) must now be 3 both via Dist and via the (fresh) ball.
+	if got := e.Dist(ids["SE1"], ids["SE4"]); got != 3 {
+		t.Fatalf("Dist after delete = %v, want 3", got)
+	}
+	found := shortest.Inf
+	e.ForwardBall(ids["SE1"], 4, func(v uint32, d shortest.Dist) bool {
+		if v == ids["SE4"] {
+			found = d
+		}
+		return true
+	})
+	if found != 3 {
+		t.Fatalf("cached ball served stale distance %v, want 3", found)
+	}
+}
+
+// TestBatchApplyMatchesSingleOps: ApplyDataBatch and the per-update API
+// must leave identical oracle state.
+func TestBatchApplyMatchesSingleOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		g := homophilousGraph(rng, 30, 90, 3, 0.8)
+		e := NewEngine(g, 3)
+		e.Build()
+		g2 := g.Clone()
+		e2 := e.CloneFor(g2).(*Engine)
+
+		// One batch: some inserts, some deletes, a node insert + delete.
+		var live []uint32
+		g.Nodes(func(id uint32) { live = append(live, id) })
+		newID := uint32(g.NumIDs())
+		victim := live[rng.Intn(len(live))]
+		batch := makeBatch(rng, g, live, newID, victim)
+
+		// Path A: fused batch API.
+		_, _ = e.ApplyDataBatch(batch, g)
+		// Path B: per-update API on the clone.
+		applySingles(t, batch, g2, e2)
+
+		n := g.NumIDs()
+		for u := uint32(0); int(u) < n; u++ {
+			for v := uint32(0); int(v) < n; v++ {
+				if a, b := e.Dist(u, v), e2.Dist(u, v); a != b {
+					t.Fatalf("trial %d: batch vs singles d(%d,%d): %v vs %v", trial, u, v, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package patgen generates random pattern graphs — the stand-in for the
+// paper's socnetv generator (§VII-A), with the same three knobs: number
+// of nodes, number of edges, and the bounded path length range on edges
+// (1–3 in the paper). Patterns are weakly connected (a random spanning
+// arborescence plus extra edges) and their labels are drawn from the
+// target data graph's label universe so that matches exist.
+package patgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/pattern"
+)
+
+// Config parameterises pattern generation.
+type Config struct {
+	Nodes    int
+	Edges    int
+	BoundMin int // default 1
+	BoundMax int // default 3
+	Seed     int64
+	// Labels is the universe to draw node labels from. Required.
+	Labels []string
+}
+
+// Generate builds a random pattern over the given label table (pass the
+// data graph's table so label ids align).
+func Generate(cfg Config, labels *graph.Labels) *pattern.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.BoundMin < 1 {
+		cfg.BoundMin = 1
+	}
+	if cfg.BoundMax < cfg.BoundMin {
+		cfg.BoundMax = 3
+		if cfg.BoundMax < cfg.BoundMin {
+			cfg.BoundMax = cfg.BoundMin
+		}
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	p := pattern.New(labels)
+	ids := make([]pattern.NodeID, cfg.Nodes)
+	for i := range ids {
+		label := "node"
+		if len(cfg.Labels) > 0 {
+			label = cfg.Labels[rng.Intn(len(cfg.Labels))]
+		}
+		// Display names must be unique within a pattern (two nodes may
+		// share one label), so nodes are named u0, u1, …
+		ids[i] = p.AddNamedNode(fmt.Sprintf("u%d", i), label)
+	}
+	bound := func() pattern.Bound {
+		return pattern.Bound(cfg.BoundMin + rng.Intn(cfg.BoundMax-cfg.BoundMin+1))
+	}
+	// Spanning arborescence for weak connectivity: each node i > 0 links
+	// with a random earlier node, direction randomised.
+	for i := 1; i < cfg.Nodes && p.NumEdges() < cfg.Edges; i++ {
+		j := rng.Intn(i)
+		if rng.Intn(2) == 0 {
+			p.AddEdge(ids[j], ids[i], bound())
+		} else {
+			p.AddEdge(ids[i], ids[j], bound())
+		}
+	}
+	// Extra random edges up to the requested count.
+	for tries := 0; p.NumEdges() < cfg.Edges && tries < cfg.Edges*20; tries++ {
+		u := ids[rng.Intn(len(ids))]
+		v := ids[rng.Intn(len(ids))]
+		p.AddEdge(u, v, bound())
+	}
+	return p
+}
+
+// LabelsOf extracts every label name of a data graph, for Config.Labels.
+func LabelsOf(g *graph.Graph) []string {
+	out := make([]string, g.Labels().Count())
+	for i := range out {
+		out[i] = g.Labels().Name(graph.LabelID(i))
+	}
+	return out
+}

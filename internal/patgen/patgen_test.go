@@ -1,0 +1,90 @@
+package patgen
+
+import (
+	"testing"
+
+	"uagpnm/internal/datasets"
+	"uagpnm/internal/pattern"
+)
+
+func TestGenerateShape(t *testing.T) {
+	g := datasets.GenerateSocial(datasets.SocialConfig{Nodes: 200, Edges: 800, Labels: 6, Homophily: 0.8, Seed: 1})
+	for size := 6; size <= 10; size++ {
+		p := Generate(Config{Nodes: size, Edges: size, Seed: int64(size), Labels: LabelsOf(g)}, g.Labels())
+		if p.NumNodes() != size {
+			t.Fatalf("nodes = %d, want %d", p.NumNodes(), size)
+		}
+		if p.NumEdges() != size {
+			t.Fatalf("edges = %d, want %d", p.NumEdges(), size)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if b := p.MaxFiniteBound(); b < 1 || b > 3 {
+			t.Fatalf("max bound = %d, want within 1..3", b)
+		}
+	}
+}
+
+func TestGenerateWeakConnectivity(t *testing.T) {
+	g := datasets.GenerateSocial(datasets.SocialConfig{Nodes: 100, Edges: 400, Labels: 4, Homophily: 0.8, Seed: 2})
+	p := Generate(Config{Nodes: 8, Edges: 8, Seed: 3, Labels: LabelsOf(g)}, g.Labels())
+	// Union-find over undirected view.
+	parent := map[pattern.NodeID]pattern.NodeID{}
+	var find func(x pattern.NodeID) pattern.NodeID
+	find = func(x pattern.NodeID) pattern.NodeID {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	p.Nodes(func(u pattern.NodeID) { parent[u] = u })
+	p.Edges(func(e pattern.Edge) {
+		parent[find(e.From)] = find(e.To)
+	})
+	roots := map[pattern.NodeID]bool{}
+	p.Nodes(func(u pattern.NodeID) { roots[find(u)] = true })
+	if len(roots) != 1 {
+		t.Fatalf("pattern has %d weak components, want 1", len(roots))
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	g := datasets.GenerateSocial(datasets.SocialConfig{Nodes: 100, Edges: 300, Labels: 4, Homophily: 0.8, Seed: 2})
+	a := Generate(Config{Nodes: 7, Edges: 7, Seed: 9, Labels: LabelsOf(g)}, g.Labels())
+	b := Generate(Config{Nodes: 7, Edges: 7, Seed: 9, Labels: LabelsOf(g)}, g.Labels())
+	if a.String() != b.String() {
+		t.Fatal("same seed must give same pattern")
+	}
+}
+
+func TestGenerateBoundsRange(t *testing.T) {
+	g := datasets.GenerateSocial(datasets.SocialConfig{Nodes: 50, Edges: 150, Labels: 3, Homophily: 0.8, Seed: 4})
+	p := Generate(Config{Nodes: 10, Edges: 14, BoundMin: 2, BoundMax: 2, Seed: 5, Labels: LabelsOf(g)}, g.Labels())
+	p.Edges(func(e pattern.Edge) {
+		if e.B != 2 {
+			t.Fatalf("bound %v outside [2,2]", e.B)
+		}
+	})
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	p := Generate(Config{Nodes: 0, Edges: 0, Seed: 1}, nil)
+	if p.NumNodes() != 1 {
+		t.Fatalf("degenerate config should yield 1 node, got %d", p.NumNodes())
+	}
+	p2 := Generate(Config{Nodes: 3, Edges: 100, Seed: 1}, nil)
+	// At most n(n-1) simple edges exist.
+	if p2.NumEdges() > 6 {
+		t.Fatalf("edges = %d beyond the simple-graph bound", p2.NumEdges())
+	}
+}
+
+func TestLabelsOf(t *testing.T) {
+	g := datasets.GenerateSocial(datasets.SocialConfig{Nodes: 30, Edges: 60, Labels: 3, Homophily: 0.5, Seed: 6})
+	labs := LabelsOf(g)
+	if len(labs) != 3 || labs[0] != "role00" {
+		t.Fatalf("LabelsOf = %v", labs)
+	}
+}

@@ -1,0 +1,137 @@
+package shortest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatrixConformance drives Dense and Hybrid through the same random
+// operation sequence and asserts identical observable behaviour — the
+// engines treat them interchangeably.
+func TestMatrixConformance(t *testing.T) {
+	const n = 24
+	dense := Matrix(NewDense(n))
+	hybrid := Matrix(NewHybrid(n, 3))
+	rng := rand.New(rand.NewSource(6))
+	for step := 0; step < 4000; step++ {
+		r := uint32(rng.Intn(n))
+		c := uint32(rng.Intn(n))
+		switch rng.Intn(10) {
+		case 0:
+			dense.ClearRow(r)
+			hybrid.ClearRow(r)
+		case 1:
+			k := rng.Intn(6)
+			cols := make([]uint32, 0, k)
+			seen := map[uint32]bool{}
+			for len(cols) < k {
+				x := uint32(rng.Intn(n))
+				if !seen[x] {
+					seen[x] = true
+					cols = append(cols, x)
+				}
+			}
+			for i := 1; i < len(cols); i++ {
+				for j := i; j > 0 && cols[j-1] > cols[j]; j-- {
+					cols[j-1], cols[j] = cols[j], cols[j-1]
+				}
+			}
+			vals := make([]Dist, len(cols))
+			for i := range vals {
+				vals[i] = Dist(rng.Intn(9))
+			}
+			dense.SetRow(r, cols, vals)
+			hybrid.SetRow(r, cols, vals)
+		case 2:
+			dense.Set(r, c, Inf)
+			hybrid.Set(r, c, Inf)
+		default:
+			d := Dist(rng.Intn(9))
+			dense.Set(r, c, d)
+			hybrid.Set(r, c, d)
+		}
+	}
+	if dense.Nonzeros() != hybrid.Nonzeros() {
+		t.Fatalf("nonzeros: dense %d, hybrid %d", dense.Nonzeros(), hybrid.Nonzeros())
+	}
+	for r := uint32(0); r < n; r++ {
+		if dense.RowLen(r) != hybrid.RowLen(r) {
+			t.Fatalf("RowLen(%d): dense %d, hybrid %d", r, dense.RowLen(r), hybrid.RowLen(r))
+		}
+		for c := uint32(0); c < n; c++ {
+			if a, b := dense.Get(r, c), hybrid.Get(r, c); a != b {
+				t.Fatalf("Get(%d,%d): dense %v, hybrid %v", r, c, a, b)
+			}
+		}
+		var dc, hc []uint32
+		dense.Row(r, func(c uint32, _ Dist) bool { dc = append(dc, c); return true })
+		hybrid.Row(r, func(c uint32, _ Dist) bool { hc = append(hc, c); return true })
+		if len(dc) != len(hc) {
+			t.Fatalf("Row(%d) lengths differ: %v vs %v", r, dc, hc)
+		}
+		for i := range dc {
+			if dc[i] != hc[i] {
+				t.Fatalf("Row(%d) order differs at %d: %v vs %v", r, i, dc, hc)
+			}
+		}
+	}
+}
+
+func TestDenseGrowTo(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 1, 3)
+	m.Set(1, 0, 4)
+	m.GrowTo(5)
+	if m.Rows() != 5 {
+		t.Fatalf("Rows = %d, want 5", m.Rows())
+	}
+	if m.Get(0, 1) != 3 || m.Get(1, 0) != 4 {
+		t.Fatal("grow lost data")
+	}
+	if m.Get(4, 4) != Inf {
+		t.Fatal("new cells must be Inf")
+	}
+	m.Set(4, 0, 1)
+	if m.Get(4, 0) != 1 {
+		t.Fatal("write to grown area failed")
+	}
+	m.GrowTo(3)
+	if m.Rows() != 5 {
+		t.Fatal("GrowTo must never shrink")
+	}
+}
+
+func TestDenseCloneIndependence(t *testing.T) {
+	m := NewDense(3)
+	m.Set(1, 2, 7)
+	c := m.Clone()
+	c.Set(1, 2, 1)
+	if m.Get(1, 2) != 7 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestGraphBall(t *testing.T) {
+	g, ids := paperGraph()
+	gb := NewGraphBall()
+	ball := gb.Ball(g, ids["PM1"], 1, false)
+	set := map[uint32]bool{}
+	for _, id := range ball {
+		set[id] = true
+	}
+	if len(ball) != 3 || !set[ids["PM1"]] || !set[ids["SE2"]] || !set[ids["DB1"]] {
+		t.Fatalf("Ball(PM1,1) = %v", ball)
+	}
+	if got := gb.Ball(g, ids["PM1"], -1, false); got != nil {
+		t.Fatalf("negative radius must be empty, got %v", got)
+	}
+	cols, dists := gb.Row(g, ids["PM1"], 2, false)
+	if len(cols) != len(dists) || len(cols) < 4 {
+		t.Fatalf("Row sizes: %d cols, %d dists", len(cols), len(dists))
+	}
+	for i := 1; i < len(cols); i++ {
+		if cols[i-1] >= cols[i] {
+			t.Fatal("Row must be ascending")
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package simulation implements Bounded Graph Simulation matching — the
+// GPNM semantics of the paper (§III): the maximum relation M ⊆ VP×VD in
+// which every matched data node carries its pattern node's label and has,
+// for each pattern edge (u,u') with bound k, a matched successor within k
+// hops ("*" = any finite length). The GPNM result Npi is M's image per
+// pattern node; BGS requires every pattern node matched, so if any image
+// is empty the reported result is empty everywhere.
+//
+// Two entry points exist: Run computes M by fixpoint from scratch, and
+// Amend repairs an existing M after a batch of pattern/data updates,
+// given the set of data nodes whose shortest-path rows changed. Amend is
+// the engine room of every incremental solver (INC-, EH- and UA-GPNM);
+// its contract — Amend(…) equals Run(…) on the updated graphs — is
+// enforced by differential tests.
+package simulation
+
+import (
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
+)
+
+// Match is the maximum bounded simulation of a pattern in a data graph.
+type Match struct {
+	p    *pattern.Graph
+	sets []*nodeset.Bits // indexed by pattern node id; nil for dead ids
+}
+
+// Pattern returns the pattern this match was computed for.
+func (m *Match) Pattern() *pattern.Graph { return m.p }
+
+// SimulationSet returns the raw simulation image of pattern node u (the
+// maximal relation's column), without the all-nonempty BGS projection.
+func (m *Match) SimulationSet(u pattern.NodeID) nodeset.Set {
+	if int(u) >= len(m.sets) || m.sets[u] == nil {
+		return nil
+	}
+	return m.sets[u].Set()
+}
+
+// Total reports whether every alive pattern node has at least one match —
+// the BGS condition for GP ⪯ GD.
+func (m *Match) Total() bool {
+	total := true
+	m.p.Nodes(func(u pattern.NodeID) {
+		if m.sets[u] == nil || m.sets[u].Empty() {
+			total = false
+		}
+	})
+	return total
+}
+
+// Nodes returns the GPNM result Npi for pattern node u: the simulation
+// image when the match is total, ∅ otherwise (paper §III-B).
+func (m *Match) Nodes(u pattern.NodeID) nodeset.Set {
+	if !m.Total() {
+		return nil
+	}
+	return m.SimulationSet(u)
+}
+
+// Equal reports whether two matches assign identical simulation sets to
+// every alive pattern node (patterns must agree structurally).
+func (m *Match) Equal(o *Match) bool {
+	equal := true
+	m.p.Nodes(func(u pattern.NodeID) {
+		a, b := m.SimulationSet(u), o.SimulationSet(u)
+		if !a.Equal(b) {
+			equal = false
+		}
+	})
+	return equal
+}
+
+// Clone returns an independent deep copy bound to the given pattern
+// (pass the same pattern, or its clone).
+func (m *Match) Clone(p *pattern.Graph) *Match {
+	c := &Match{p: p, sets: make([]*nodeset.Bits, len(m.sets))}
+	for i, b := range m.sets {
+		if b != nil {
+			c.sets[i] = b.Clone()
+		}
+	}
+	return c
+}
+
+// effectiveBound converts a pattern bound to a hop count usable with the
+// oracle: "*" becomes the horizon for capped oracles (documented
+// approximation) or an unbounded sentinel for exact ones.
+func effectiveBound(b pattern.Bound, o shortest.Oracle) int {
+	if !b.IsStar() {
+		return int(b)
+	}
+	if o.Exact() {
+		return int(shortest.Inf) - 1
+	}
+	return o.Horizon()
+}
+
+// hasSupport reports whether v has a successor in cand within k hops.
+func hasSupport(o shortest.Oracle, v uint32, k int, cand *nodeset.Bits) bool {
+	found := false
+	o.ForwardBall(v, k, func(w uint32, _ shortest.Dist) bool {
+		if cand.Contains(w) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Run computes the maximum bounded simulation of p in g from scratch.
+func Run(p *pattern.Graph, g *graph.Graph, o shortest.Oracle) *Match {
+	m := &Match{p: p, sets: make([]*nodeset.Bits, p.NumIDs())}
+	n := g.NumIDs()
+	p.Nodes(func(u pattern.NodeID) {
+		bits := nodeset.NewBits(n)
+		for _, v := range g.NodesWithLabel(p.Label(u)) {
+			bits.Add(v)
+		}
+		m.sets[u] = bits
+	})
+	m.refineAll(g, o)
+	return m
+}
+
+// refineAll runs the removal fixpoint over every pair until stable.
+func (m *Match) refineAll(g *graph.Graph, o shortest.Oracle) {
+	w := newWorklist()
+	m.p.Nodes(func(u pattern.NodeID) {
+		m.sets[u].Range(func(v uint32) bool {
+			w.push(u, v)
+			return true
+		})
+	})
+	m.drain(w, g, o)
+}
+
+// drain pops pairs, removes failing ones, and cascades rechecks along
+// reverse pattern edges using reverse distance balls.
+func (m *Match) drain(w *worklist, g *graph.Graph, o shortest.Oracle) {
+	for {
+		u, v, ok := w.pop()
+		if !ok {
+			return
+		}
+		set := m.sets[u]
+		if set == nil || !set.Contains(v) {
+			continue
+		}
+		if m.pairSatisfied(u, v, o) {
+			continue
+		}
+		set.Remove(v)
+		// v's removal may strip the support of predecessors within their
+		// bounds: recheck every candidate of an in-neighbour pattern node
+		// that could reach v.
+		m.p.In(u, func(uPrev pattern.NodeID, b pattern.Bound) {
+			k := effectiveBound(b, o)
+			prevSet := m.sets[uPrev]
+			if prevSet == nil {
+				return
+			}
+			o.ReverseBall(v, k, func(x uint32, _ shortest.Dist) bool {
+				if prevSet.Contains(x) {
+					w.push(uPrev, x)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// pairSatisfied verifies every out-edge constraint of u for data node v.
+func (m *Match) pairSatisfied(u pattern.NodeID, v uint32, o shortest.Oracle) bool {
+	satisfied := true
+	m.p.Out(u, func(uNext pattern.NodeID, b pattern.Bound) {
+		if !satisfied {
+			return
+		}
+		if !hasSupport(o, v, effectiveBound(b, o), m.sets[uNext]) {
+			satisfied = false
+		}
+	})
+	return satisfied
+}
+
+// worklist is a FIFO of (pattern node, data node) pairs with per-pair
+// dedup while enqueued.
+type worklist struct {
+	queue  []pairItem
+	head   int
+	queued map[pairItem]bool
+}
+
+type pairItem struct {
+	u pattern.NodeID
+	v uint32
+}
+
+func newWorklist() *worklist {
+	return &worklist{queued: make(map[pairItem]bool)}
+}
+
+func (w *worklist) push(u pattern.NodeID, v uint32) {
+	it := pairItem{u, v}
+	if w.queued[it] {
+		return
+	}
+	w.queued[it] = true
+	w.queue = append(w.queue, it)
+}
+
+func (w *worklist) pop() (pattern.NodeID, uint32, bool) {
+	if w.head >= len(w.queue) {
+		return 0, 0, false
+	}
+	it := w.queue[w.head]
+	w.head++
+	if w.head == len(w.queue) {
+		w.queue = w.queue[:0]
+		w.head = 0
+	}
+	delete(w.queued, it)
+	return it.u, it.v, true
+}

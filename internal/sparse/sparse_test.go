@@ -1,0 +1,254 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetGetBasic(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 5, 7)
+	m.Set(0, 2, 1)
+	m.Set(1, 0, 3)
+	if got := m.Get(0, 5); got != 7 {
+		t.Fatalf("Get(0,5) = %d, want 7", got)
+	}
+	if got := m.Get(0, 2); got != 1 {
+		t.Fatalf("Get(0,2) = %d, want 1", got)
+	}
+	if got := m.Get(0, 3); got != Inf {
+		t.Fatalf("Get(0,3) = %d, want Inf", got)
+	}
+	if got := m.Get(9, 0); got != Inf {
+		t.Fatalf("out-of-range Get = %d, want Inf", got)
+	}
+	if m.Nonzeros() != 3 {
+		t.Fatalf("Nonzeros = %d, want 3", m.Nonzeros())
+	}
+}
+
+func TestOverflowSpill(t *testing.T) {
+	m := NewMatrix(1, 2)
+	// Fill beyond ELL width 2: entries 10,20,30,5 (inserting 5 pushes into ELL
+	// and spills the ELL tail to overflow).
+	m.Set(0, 10, 1)
+	m.Set(0, 20, 2)
+	m.Set(0, 30, 3)
+	m.Set(0, 5, 4)
+	want := map[Col]Dist{5: 4, 10: 1, 20: 2, 30: 3}
+	for c, d := range want {
+		if got := m.Get(0, c); got != d {
+			t.Fatalf("Get(0,%d) = %d, want %d", c, got, d)
+		}
+	}
+	if m.OverflowEntries() != 2 {
+		t.Fatalf("OverflowEntries = %d, want 2", m.OverflowEntries())
+	}
+	// Row iteration must be ascending across ELL + overflow.
+	var cols []Col
+	m.Row(0, func(c Col, d Dist) bool {
+		cols = append(cols, c)
+		return true
+	})
+	for i := 1; i < len(cols); i++ {
+		if cols[i-1] >= cols[i] {
+			t.Fatalf("Row not ascending: %v", cols)
+		}
+	}
+	if len(cols) != 4 || m.RowLen(0) != 4 {
+		t.Fatalf("row has %d cols, RowLen %d, want 4", len(cols), m.RowLen(0))
+	}
+}
+
+func TestSetInfDeletes(t *testing.T) {
+	m := NewMatrix(1, 2)
+	for _, c := range []Col{1, 2, 3, 4} {
+		m.Set(0, c, Dist(c))
+	}
+	m.Set(0, 2, Inf) // ELL deletion promotes overflow
+	if m.Get(0, 2) != Inf {
+		t.Fatal("deletion failed")
+	}
+	if m.Nonzeros() != 3 || m.RowLen(0) != 3 {
+		t.Fatalf("nnz=%d rowlen=%d, want 3", m.Nonzeros(), m.RowLen(0))
+	}
+	m.Set(0, 4, Inf) // may live in ELL after promotion or in overflow
+	if m.Get(0, 4) != Inf || m.Nonzeros() != 2 {
+		t.Fatal("second deletion failed")
+	}
+	m.Set(0, 99, Inf) // deleting absent entry is a no-op
+	if m.Nonzeros() != 2 {
+		t.Fatal("deleting absent entry changed nnz")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 7, 3)
+	m.Set(0, 9, 5) // overflow
+	m.Set(0, 7, 4) // ELL update
+	m.Set(0, 9, 6) // overflow update
+	if m.Get(0, 7) != 4 || m.Get(0, 9) != 6 {
+		t.Fatal("in-place update failed")
+	}
+	if m.Nonzeros() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.Nonzeros())
+	}
+}
+
+func TestSetRowAndClearRow(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 9)
+	m.SetRow(0, []Col{2, 4, 6, 8}, []Dist{1, 2, 3, 4})
+	if m.Get(0, 1) != Inf {
+		t.Fatal("SetRow should replace the old row")
+	}
+	if m.RowLen(0) != 4 || m.Nonzeros() != 4 {
+		t.Fatalf("RowLen=%d nnz=%d, want 4,4", m.RowLen(0), m.Nonzeros())
+	}
+	m.ClearRow(0)
+	if m.RowLen(0) != 0 || m.Nonzeros() != 0 {
+		t.Fatal("ClearRow incomplete")
+	}
+	m.ClearRow(5) // out of range: no-op
+}
+
+func TestGrowTo(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 3, 1)
+	m.GrowTo(4)
+	if m.Rows() != 4 {
+		t.Fatalf("Rows = %d, want 4", m.Rows())
+	}
+	m.Set(3, 1, 2)
+	if m.Get(3, 1) != 2 || m.Get(0, 3) != 1 {
+		t.Fatal("grow corrupted data")
+	}
+	m.GrowTo(2) // shrink requests are ignored
+	if m.Rows() != 4 {
+		t.Fatal("GrowTo should never shrink")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 1, 1)
+	m.Set(0, 2, 2)
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	c.Set(0, 3, 3)
+	if m.Get(0, 1) != 1 || m.Get(0, 3) != Inf {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.Get(0, 1) != 9 || c.Get(0, 2) != 2 {
+		t.Fatal("clone content wrong")
+	}
+}
+
+func TestRowEarlyStop(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 1, 1)
+	m.Set(0, 2, 2)
+	m.Set(0, 3, 3)
+	n := 0
+	m.Row(0, func(Col, Dist) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+// Differential test against a map-of-maps reference model under random
+// operations, covering ELL/overflow movement, deletions and row ops.
+func TestDifferentialAgainstMap(t *testing.T) {
+	for _, ellWidth := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(ellWidth)))
+		const rows, colSpace = 8, 32
+		m := NewMatrix(rows, ellWidth)
+		ref := make(map[Col]map[Col]Dist)
+		for i := 0; i < 5000; i++ {
+			r := Col(rng.Intn(rows))
+			c := Col(rng.Intn(colSpace))
+			switch rng.Intn(10) {
+			case 0: // clear row
+				m.ClearRow(r)
+				delete(ref, r)
+			case 1: // set row
+				nc := rng.Intn(6)
+				cols := make([]Col, 0, nc)
+				seen := map[Col]bool{}
+				for len(cols) < nc {
+					x := Col(rng.Intn(colSpace))
+					if !seen[x] {
+						seen[x] = true
+						cols = append(cols, x)
+					}
+				}
+				sortCols(cols)
+				vals := make([]Dist, len(cols))
+				rr := make(map[Col]Dist)
+				for j := range cols {
+					vals[j] = Dist(rng.Intn(100))
+					rr[cols[j]] = vals[j]
+				}
+				m.SetRow(r, cols, vals)
+				ref[r] = rr
+			case 2, 3: // delete
+				m.Set(r, c, Inf)
+				if ref[r] != nil {
+					delete(ref[r], c)
+				}
+			default: // set
+				d := Dist(rng.Intn(100))
+				m.Set(r, c, d)
+				if ref[r] == nil {
+					ref[r] = make(map[Col]Dist)
+				}
+				ref[r][c] = d
+			}
+		}
+		// Full comparison.
+		nnz := 0
+		for r := Col(0); int(r) < rows; r++ {
+			for c := Col(0); c < colSpace; c++ {
+				want := Inf
+				if ref[r] != nil {
+					if d, ok := ref[r][c]; ok {
+						want = d
+					}
+				}
+				if got := m.Get(r, c); got != want {
+					t.Fatalf("ellWidth=%d: Get(%d,%d) = %d, want %d", ellWidth, r, c, got, want)
+				}
+			}
+			nnz += len(ref[r])
+			if m.RowLen(r) != len(ref[r]) {
+				t.Fatalf("ellWidth=%d: RowLen(%d) = %d, want %d", ellWidth, r, m.RowLen(r), len(ref[r]))
+			}
+		}
+		if m.Nonzeros() != nnz {
+			t.Fatalf("ellWidth=%d: Nonzeros = %d, want %d", ellWidth, m.Nonzeros(), nnz)
+		}
+	}
+}
+
+func sortCols(cols []Col) {
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j-1] > cols[j]; j-- {
+			cols[j-1], cols[j] = cols[j], cols[j-1]
+		}
+	}
+}
+
+func BenchmarkGetELLHit(b *testing.B) {
+	m := NewMatrix(1024, 8)
+	rng := rand.New(rand.NewSource(1))
+	for r := 0; r < 1024; r++ {
+		for j := 0; j < 8; j++ {
+			m.Set(Col(r), Col(rng.Intn(64)), Dist(rng.Intn(6)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(Col(i&1023), Col(i&63))
+	}
+}

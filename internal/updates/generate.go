@@ -1,0 +1,216 @@
+package updates
+
+import (
+	"math/rand"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/pattern"
+)
+
+// GenConfig controls random batch generation (experiment protocol
+// §VII-A: balanced insertions and deletions on both graphs, bounds drawn
+// from a small range).
+type GenConfig struct {
+	Seed int64
+
+	DataEdgeInserts int
+	DataEdgeDeletes int
+	DataNodeInserts int
+	DataNodeDeletes int
+
+	PatternEdgeInserts int
+	PatternEdgeDeletes int
+	PatternNodeInserts int
+	PatternNodeDeletes int
+
+	// BoundMin/BoundMax bracket the bounds of inserted pattern edges
+	// (defaults 1..3, the paper's setting).
+	BoundMin, BoundMax int
+
+	// NewNodeLabels supplies labels for inserted data nodes; when empty,
+	// labels are sampled from the graph's existing label table.
+	NewNodeLabels []string
+}
+
+// Balanced returns a GenConfig with pTotal pattern updates and dTotal
+// data updates split evenly across the four kinds on each side, matching
+// the paper's ΔG scale notation (p, d).
+func Balanced(seed int64, pTotal, dTotal int) GenConfig {
+	cfg := GenConfig{Seed: seed, BoundMin: 1, BoundMax: 3}
+	cfg.PatternEdgeInserts = (pTotal + 3) / 4
+	cfg.PatternEdgeDeletes = (pTotal + 2) / 4
+	cfg.PatternNodeInserts = (pTotal + 1) / 4
+	cfg.PatternNodeDeletes = pTotal / 4
+	cfg.DataEdgeInserts = (dTotal + 3) / 4
+	cfg.DataEdgeDeletes = (dTotal + 2) / 4
+	cfg.DataNodeInserts = (dTotal + 1) / 4
+	cfg.DataNodeDeletes = dTotal / 4
+	return cfg
+}
+
+// Generate builds a random batch consistent with g and p. Neither input
+// is mutated: generation runs against working clones so that, e.g., an
+// edge deletion may target an edge inserted earlier in the same batch,
+// and node references stay valid in application order.
+func Generate(cfg GenConfig, g *graph.Graph, p *pattern.Graph) Batch {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.BoundMin < 1 {
+		cfg.BoundMin = 1
+	}
+	if cfg.BoundMax < cfg.BoundMin {
+		cfg.BoundMax = cfg.BoundMin
+	}
+	gw := g.Clone()
+	pw := p.Clone()
+	var b Batch
+
+	labelUniverse := cfg.NewNodeLabels
+	if len(labelUniverse) == 0 {
+		for i := 0; i < g.Labels().Count(); i++ {
+			labelUniverse = append(labelUniverse, g.Labels().Name(graph.LabelID(i)))
+		}
+	}
+	if len(labelUniverse) == 0 {
+		labelUniverse = []string{"node"}
+	}
+
+	// Interleave kinds in a shuffled order so the stream mixes
+	// insertions and deletions the way real update logs do.
+	type genStep struct{ kind Kind }
+	var steps []genStep
+	addSteps := func(k Kind, n int) {
+		for i := 0; i < n; i++ {
+			steps = append(steps, genStep{k})
+		}
+	}
+	addSteps(DataEdgeInsert, cfg.DataEdgeInserts)
+	addSteps(DataEdgeDelete, cfg.DataEdgeDeletes)
+	addSteps(DataNodeInsert, cfg.DataNodeInserts)
+	addSteps(DataNodeDelete, cfg.DataNodeDeletes)
+	addSteps(PatternEdgeInsert, cfg.PatternEdgeInserts)
+	addSteps(PatternEdgeDelete, cfg.PatternEdgeDeletes)
+	addSteps(PatternNodeInsert, cfg.PatternNodeInserts)
+	addSteps(PatternNodeDelete, cfg.PatternNodeDeletes)
+	rng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+
+	for _, st := range steps {
+		var u Update
+		ok := false
+		switch st.kind {
+		case DataEdgeInsert:
+			u, ok = genDataEdgeInsert(rng, gw)
+		case DataEdgeDelete:
+			u, ok = genDataEdgeDelete(rng, gw)
+		case DataNodeInsert:
+			label := labelUniverse[rng.Intn(len(labelUniverse))]
+			id := gw.AddNode(label)
+			u, ok = Update{Kind: DataNodeInsert, Node: id, Labels: []string{label}}, true
+		case DataNodeDelete:
+			u, ok = genDataNodeDelete(rng, gw)
+		case PatternEdgeInsert:
+			u, ok = genPatternEdgeInsert(rng, pw, cfg)
+		case PatternEdgeDelete:
+			u, ok = genPatternEdgeDelete(rng, pw)
+		case PatternNodeInsert:
+			label := labelUniverse[rng.Intn(len(labelUniverse))]
+			id := pw.AddNode(label)
+			u, ok = Update{Kind: PatternNodeInsert, Node: id, Labels: []string{label}}, true
+		case PatternNodeDelete:
+			u, ok = genPatternNodeDelete(rng, pw)
+		}
+		if !ok {
+			continue
+		}
+		if u.Kind.IsData() {
+			b.D = append(b.D, u)
+		} else {
+			b.P = append(b.P, u)
+		}
+	}
+	return b
+}
+
+func liveNodes(g *graph.Graph) []uint32 {
+	out := make([]uint32, 0, g.NumNodes())
+	g.Nodes(func(id uint32) { out = append(out, id) })
+	return out
+}
+
+func genDataEdgeInsert(rng *rand.Rand, g *graph.Graph) (Update, bool) {
+	live := liveNodes(g)
+	if len(live) < 2 {
+		return Update{}, false
+	}
+	for try := 0; try < 64; try++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if g.AddEdge(u, v) {
+			return Update{Kind: DataEdgeInsert, From: u, To: v}, true
+		}
+	}
+	return Update{}, false
+}
+
+func genDataEdgeDelete(rng *rand.Rand, g *graph.Graph) (Update, bool) {
+	live := liveNodes(g)
+	for try := 0; try < 64; try++ {
+		u := live[rng.Intn(len(live))]
+		out := g.Out(u)
+		if len(out) == 0 {
+			continue
+		}
+		v := out[rng.Intn(len(out))]
+		g.RemoveEdge(u, v)
+		return Update{Kind: DataEdgeDelete, From: u, To: v}, true
+	}
+	return Update{}, false
+}
+
+func genDataNodeDelete(rng *rand.Rand, g *graph.Graph) (Update, bool) {
+	live := liveNodes(g)
+	if len(live) < 3 {
+		return Update{}, false
+	}
+	id := live[rng.Intn(len(live))]
+	g.RemoveNode(id)
+	return Update{Kind: DataNodeDelete, Node: id}, true
+}
+
+func genPatternEdgeInsert(rng *rand.Rand, p *pattern.Graph, cfg GenConfig) (Update, bool) {
+	var live []pattern.NodeID
+	p.Nodes(func(u pattern.NodeID) { live = append(live, u) })
+	if len(live) < 2 {
+		return Update{}, false
+	}
+	for try := 0; try < 64; try++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		b := pattern.Bound(cfg.BoundMin + rng.Intn(cfg.BoundMax-cfg.BoundMin+1))
+		if p.AddEdge(u, v, b) {
+			return Update{Kind: PatternEdgeInsert, From: u, To: v, Bound: b}, true
+		}
+	}
+	return Update{}, false
+}
+
+func genPatternEdgeDelete(rng *rand.Rand, p *pattern.Graph) (Update, bool) {
+	var edges []pattern.Edge
+	p.Edges(func(e pattern.Edge) { edges = append(edges, e) })
+	if len(edges) == 0 {
+		return Update{}, false
+	}
+	e := edges[rng.Intn(len(edges))]
+	p.RemoveEdge(e.From, e.To)
+	return Update{Kind: PatternEdgeDelete, From: e.From, To: e.To}, true
+}
+
+func genPatternNodeDelete(rng *rand.Rand, p *pattern.Graph) (Update, bool) {
+	var live []pattern.NodeID
+	p.Nodes(func(u pattern.NodeID) { live = append(live, u) })
+	if len(live) < 3 {
+		return Update{}, false // keep the pattern meaningfully sized
+	}
+	id := live[rng.Intn(len(live))]
+	p.RemoveNode(id)
+	return Update{Kind: PatternNodeDelete, Node: id}, true
+}

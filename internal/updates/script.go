@@ -1,0 +1,146 @@
+package updates
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"uagpnm/internal/pattern"
+)
+
+// ParseScript reads a textual update batch — the CLI's input format.
+// One update per line; '#' comments and blanks skipped:
+//
+//	+e <from> <to>        insert data edge
+//	-e <from> <to>        delete data edge
+//	+n <id> <label,...>   insert data node (id must be the next free id)
+//	-n <id>               delete data node
+//	+pe <from> <to> <k|*> insert pattern edge
+//	-pe <from> <to>       delete pattern edge
+//	+pn <id> <label>      insert pattern node
+//	-pn <id>              delete pattern node
+//
+// Ids are numeric (data-graph and pattern-graph node ids respectively).
+func ParseScript(r io.Reader) (Batch, error) {
+	var b Batch
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		u, err := parseScriptLine(fields)
+		if err != nil {
+			return Batch{}, fmt.Errorf("updates: line %d: %v", line, err)
+		}
+		if u.Kind.IsData() {
+			b.D = append(b.D, u)
+		} else {
+			b.P = append(b.P, u)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Batch{}, fmt.Errorf("updates: reading script: %v", err)
+	}
+	return b, nil
+}
+
+func parseScriptLine(fields []string) (Update, error) {
+	need := func(n int) error {
+		if len(fields) != n {
+			return fmt.Errorf("directive %q wants %d fields, got %d", fields[0], n, len(fields))
+		}
+		return nil
+	}
+	id := func(s string) (uint32, error) {
+		v, err := strconv.ParseUint(s, 10, 32)
+		return uint32(v), err
+	}
+	switch fields[0] {
+	case "+e", "-e":
+		if err := need(3); err != nil {
+			return Update{}, err
+		}
+		from, err1 := id(fields[1])
+		to, err2 := id(fields[2])
+		if err1 != nil || err2 != nil {
+			return Update{}, fmt.Errorf("bad node id in %v", fields)
+		}
+		k := DataEdgeInsert
+		if fields[0] == "-e" {
+			k = DataEdgeDelete
+		}
+		return Update{Kind: k, From: from, To: to}, nil
+	case "+n":
+		if err := need(3); err != nil {
+			return Update{}, err
+		}
+		node, err := id(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Kind: DataNodeInsert, Node: node, Labels: strings.Split(fields[2], ",")}, nil
+	case "-n":
+		if err := need(2); err != nil {
+			return Update{}, err
+		}
+		node, err := id(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Kind: DataNodeDelete, Node: node}, nil
+	case "+pe":
+		if err := need(4); err != nil {
+			return Update{}, err
+		}
+		from, err1 := id(fields[1])
+		to, err2 := id(fields[2])
+		if err1 != nil || err2 != nil {
+			return Update{}, fmt.Errorf("bad pattern node id in %v", fields)
+		}
+		var bound int64 = -1
+		if fields[3] != "*" {
+			var err error
+			bound, err = strconv.ParseInt(fields[3], 10, 32)
+			if err != nil || bound < 1 {
+				return Update{}, fmt.Errorf("bad bound %q", fields[3])
+			}
+		}
+		return Update{Kind: PatternEdgeInsert, From: from, To: to, Bound: pattern.Bound(bound)}, nil
+	case "-pe":
+		if err := need(3); err != nil {
+			return Update{}, err
+		}
+		from, err1 := id(fields[1])
+		to, err2 := id(fields[2])
+		if err1 != nil || err2 != nil {
+			return Update{}, fmt.Errorf("bad pattern node id in %v", fields)
+		}
+		return Update{Kind: PatternEdgeDelete, From: from, To: to}, nil
+	case "+pn":
+		if err := need(3); err != nil {
+			return Update{}, err
+		}
+		node, err := id(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Kind: PatternNodeInsert, Node: node, Labels: []string{fields[2]}}, nil
+	case "-pn":
+		if err := need(2); err != nil {
+			return Update{}, err
+		}
+		node, err := id(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Kind: PatternNodeDelete, Node: node}, nil
+	default:
+		return Update{}, fmt.Errorf("unknown directive %q", fields[0])
+	}
+}

@@ -1,0 +1,228 @@
+package updates
+
+import (
+	"strings"
+	"testing"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
+)
+
+func smallGraph() *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < 6; i++ {
+		g.AddNode([]string{"A", "B"}[i%2])
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	return g
+}
+
+func smallPattern(g *graph.Graph) *pattern.Graph {
+	p := pattern.New(g.Labels())
+	a := p.AddNode("A")
+	b := p.AddNode("B")
+	p.AddEdge(a, b, 2)
+	return p
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		DataEdgeInsert: "ΔG+DE", DataEdgeDelete: "ΔG-DE",
+		DataNodeInsert: "ΔG+DN", DataNodeDelete: "ΔG-DN",
+		PatternEdgeInsert: "ΔG+PE", PatternEdgeDelete: "ΔG-PE",
+		PatternNodeInsert: "ΔG+PN", PatternNodeDelete: "ΔG-PN",
+		Kind(99): "?",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if !DataNodeDelete.IsData() || PatternEdgeInsert.IsData() {
+		t.Error("IsData wrong")
+	}
+}
+
+func TestApplyDataRoundTrip(t *testing.T) {
+	g := smallGraph()
+	e := shortest.NewEngine(g, 0)
+	e.Build()
+	// Insert, then delete: state must return.
+	aff := ApplyData(Update{Kind: DataEdgeInsert, From: 4, To: 0}, g, e)
+	if aff.Empty() {
+		t.Fatal("insertion of a connecting edge must affect nodes")
+	}
+	if ApplyData(Update{Kind: DataEdgeInsert, From: 4, To: 0}, g, e) != nil {
+		t.Fatal("duplicate insert must be a no-op")
+	}
+	ApplyData(Update{Kind: DataEdgeDelete, From: 4, To: 0}, g, e)
+	if g.HasEdge(4, 0) {
+		t.Fatal("edge not removed")
+	}
+	if ApplyData(Update{Kind: DataEdgeDelete, From: 4, To: 0}, g, e) != nil {
+		t.Fatal("double delete must be a no-op")
+	}
+	// Node insert with predicted id.
+	id := uint32(g.NumIDs())
+	aff = ApplyData(Update{Kind: DataNodeInsert, Node: id, Labels: []string{"A"}}, g, e)
+	if !aff.Contains(id) || !g.Alive(id) {
+		t.Fatal("node insert failed")
+	}
+	ApplyData(Update{Kind: DataNodeDelete, Node: id}, g, e)
+	if g.Alive(id) {
+		t.Fatal("node delete failed")
+	}
+}
+
+func TestApplyDataPanicsOnWrongSide(t *testing.T) {
+	g := smallGraph()
+	e := shortest.NewEngine(g, 0)
+	e.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	ApplyData(Update{Kind: PatternEdgeInsert}, g, e)
+}
+
+func TestApplyPattern(t *testing.T) {
+	g := smallGraph()
+	p := smallPattern(g)
+	if !ApplyPattern(Update{Kind: PatternEdgeDelete, From: 0, To: 1}, p) {
+		t.Fatal("pattern edge delete failed")
+	}
+	if ApplyPattern(Update{Kind: PatternEdgeDelete, From: 0, To: 1}, p) {
+		t.Fatal("double delete must report false")
+	}
+	if !ApplyPattern(Update{Kind: PatternEdgeInsert, From: 0, To: 1, Bound: 3}, p) {
+		t.Fatal("pattern edge insert failed")
+	}
+	id := pattern.NodeID(p.NumIDs())
+	if !ApplyPattern(Update{Kind: PatternNodeInsert, Node: id, Labels: []string{"B"}}, p) {
+		t.Fatal("pattern node insert failed")
+	}
+	if !ApplyPattern(Update{Kind: PatternNodeDelete, Node: id}, p) {
+		t.Fatal("pattern node delete failed")
+	}
+}
+
+func TestGenerateConsistency(t *testing.T) {
+	g := smallGraph()
+	p := smallPattern(g)
+	for seed := int64(0); seed < 20; seed++ {
+		b := Generate(Balanced(seed, 4, 12), g, p)
+		// Replay on clones: every structural apply must be coherent (the
+		// engine-free path tests the predictions).
+		g2 := g.Clone()
+		ApplyDataStructural(b.D, g2)
+		p2 := p.Clone()
+		ApplyPatternBatch(b.P, p2)
+		if err := p2.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateBalancedCounts(t *testing.T) {
+	cfg := Balanced(1, 8, 16)
+	total := cfg.PatternEdgeInserts + cfg.PatternEdgeDeletes + cfg.PatternNodeInserts + cfg.PatternNodeDeletes
+	if total != 8 {
+		t.Fatalf("pattern updates = %d, want 8", total)
+	}
+	dTotal := cfg.DataEdgeInserts + cfg.DataEdgeDeletes + cfg.DataNodeInserts + cfg.DataNodeDeletes
+	if dTotal != 16 {
+		t.Fatalf("data updates = %d, want 16", dTotal)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	g := smallGraph()
+	p := smallPattern(g)
+	a := Generate(Balanced(5, 3, 9), g, p)
+	b := Generate(Balanced(5, 3, 9), g, p)
+	if len(a.D) != len(b.D) || len(a.P) != len(b.P) {
+		t.Fatal("same seed, different batch sizes")
+	}
+	for i := range a.D {
+		if a.D[i].String() != b.D[i].String() {
+			t.Fatal("same seed, different data updates")
+		}
+	}
+}
+
+func TestMaxPatternBound(t *testing.T) {
+	b := Batch{P: []Update{
+		{Kind: PatternEdgeInsert, Bound: 2},
+		{Kind: PatternEdgeInsert, Bound: pattern.Star},
+		{Kind: PatternEdgeInsert, Bound: 5},
+		{Kind: PatternEdgeDelete},
+	}}
+	if b.MaxPatternBound() != 5 {
+		t.Fatalf("MaxPatternBound = %d, want 5", b.MaxPatternBound())
+	}
+	if b.Size() != 4 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	in := `
+# a comment
++e 1 2
+-e 2 3
++n 6 A,B
+-n 4
++pe 0 1 3
++pe 1 0 *
+-pe 0 1
++pn 2 B
+-pn 1
+`
+	b, err := ParseScript(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.D) != 4 || len(b.P) != 5 {
+		t.Fatalf("parsed %d data, %d pattern updates", len(b.D), len(b.P))
+	}
+	if b.D[2].Kind != DataNodeInsert || len(b.D[2].Labels) != 2 {
+		t.Fatalf("node insert parsed wrong: %+v", b.D[2])
+	}
+	if b.P[1].Bound != pattern.Star {
+		t.Fatalf("star bound parsed wrong: %+v", b.P[1])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	bad := []string{
+		"frob 1 2\n", "+e 1\n", "+e x 2\n", "+pe 0 1 0\n", "+pe 0 1 -2\n",
+		"+n zz A\n", "-n\n", "-pe 1\n", "+pn 1\n", "-pn x\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseScript(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	cases := []struct {
+		u    Update
+		want string
+	}{
+		{Update{Kind: DataEdgeInsert, From: 1, To: 2}, "ΔG+DE(1->2)"},
+		{Update{Kind: PatternEdgeInsert, From: 0, To: 1, Bound: pattern.Star}, "ΔG+PE(0-(*)->1)"},
+		{Update{Kind: DataNodeDelete, Node: 7}, "ΔG-DN(7)"},
+		{Update{Kind: DataNodeInsert, Node: 3, Labels: []string{"A"}}, "ΔG+DN(3 [A])"},
+	}
+	for _, c := range cases {
+		if got := c.u.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

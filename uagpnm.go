@@ -1,0 +1,242 @@
+// Package uagpnm is a Go implementation of Updates-Aware Graph Pattern
+// based Node Matching (UA-GPNM) — Sun, Liu, Wang, Zhou, ICDE 2020 —
+// together with every substrate the paper builds on: a dynamic labelled
+// data graph, pattern graphs with bounded path lengths, incremental
+// all-pairs shortest-path-length (SLen) maintenance, bounded graph
+// simulation matching, elimination-relationship detection (DER-I/II/III),
+// the EH-Tree index, the label-based graph partition, and the paper's
+// baselines (INC-GPNM, EH-GPNM) for comparison.
+//
+// # Quick start
+//
+//	g := uagpnm.NewGraph()
+//	alice := g.AddNode("PM")
+//	bob := g.AddNode("SE")
+//	g.AddEdge(alice, bob)
+//
+//	p := uagpnm.NewPattern(g)
+//	pm := p.AddNode("PM")
+//	se := p.AddNode("SE")
+//	p.AddEdge(pm, se, 3) // a PM within 3 hops of an SE
+//
+//	s := uagpnm.NewSession(g, p, uagpnm.Options{Method: uagpnm.UAGPNM})
+//	fmt.Println(s.Result(pm)) // matching data nodes for the PM role
+//
+//	// Later: process a batch of updates without recomputing.
+//	batch := uagpnm.Batch{D: []uagpnm.Update{uagpnm.InsertEdge(bob, alice)}}
+//	s.SQuery(batch)
+//
+// Sessions answer the initial query on construction (the paper's IQuery)
+// and process update batches incrementally (SQuery), using the method
+// selected in Options. All five methods produce identical results; they
+// differ in how much work a batch costs. See README.md for the
+// architecture and EXPERIMENTS.md for the reproduction results.
+package uagpnm
+
+import (
+	"io"
+
+	"uagpnm/internal/core"
+	"uagpnm/internal/datasets"
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/patgen"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/simulation"
+	"uagpnm/internal/updates"
+)
+
+// Graph is a directed data graph with labelled nodes (GD in the paper).
+type Graph = graph.Graph
+
+// Pattern is a pattern graph with bounded path lengths (GP).
+type Pattern = pattern.Graph
+
+// Bound is a pattern edge's bounded path length: a positive hop count or
+// Star.
+type Bound = pattern.Bound
+
+// Star is the "*" bound: any finite path length matches.
+const Star = pattern.Star
+
+// NodeID identifies a data-graph node.
+type NodeID = graph.NodeID
+
+// PatternNodeID identifies a pattern node.
+type PatternNodeID = pattern.NodeID
+
+// NodeSet is a sorted set of data-graph node ids.
+type NodeSet = nodeset.Set
+
+// Match is a matching result: the simulation image per pattern node.
+type Match = simulation.Match
+
+// Update is one update to either graph; Batch is one query's worth.
+type (
+	Update = updates.Update
+	Batch  = updates.Batch
+)
+
+// Method selects the query-processing algorithm of a Session.
+type Method = core.Method
+
+// The five methods of the paper's evaluation.
+const (
+	// Scratch recomputes everything per batch (the naive baseline).
+	Scratch = core.Scratch
+	// INCGPNM is the incremental baseline [13]: one pass per update.
+	INCGPNM = core.INCGPNM
+	// EHGPNM adds Type II elimination over data updates [14].
+	EHGPNM = core.EHGPNM
+	// UAGPNMNoPar is UA-GPNM without the label partition (ablation).
+	UAGPNMNoPar = core.UAGPNMNoPar
+	// UAGPNM is the paper's algorithm: full elimination detection,
+	// EH-Tree, one amendment pass, label-partitioned SLen.
+	UAGPNM = core.UAGPNM
+)
+
+// NewGraph returns an empty data graph.
+func NewGraph() *Graph { return graph.New(nil) }
+
+// LoadGraph parses a SNAP-style edge list ("from<TAB>to" lines, '#'
+// comments); every node receives defaultLabel. Use Graph.ApplyLabels to
+// attach a label file afterwards.
+func LoadGraph(r io.Reader, defaultLabel string) (*Graph, error) {
+	g, _, err := graph.ReadEdgeList(r, nil, defaultLabel)
+	return g, err
+}
+
+// NewPattern returns an empty pattern sharing g's label table (labels
+// must be shared for matching to align).
+func NewPattern(g *Graph) *Pattern { return pattern.New(g.Labels()) }
+
+// ParsePattern reads the textual pattern format ("node <name> <label>" /
+// "edge <from> <to> <bound>" lines) against g's label table.
+func ParsePattern(r io.Reader, g *Graph) (*Pattern, error) {
+	return pattern.Parse(r, g.Labels())
+}
+
+// Options configures a Session.
+type Options struct {
+	// Method selects the algorithm (default UAGPNM).
+	Method Method
+	// Horizon caps SLen at this many hops; 0 keeps exact distances
+	// (suitable for small graphs and patterns with "*" bounds). It is
+	// raised automatically to the pattern's largest finite bound.
+	Horizon int
+}
+
+// Session is an evolving GPNM query over one graph and pattern. The
+// session owns both after construction; it answers the initial query
+// immediately and processes update batches incrementally.
+type Session struct {
+	inner *core.Session
+}
+
+// NewSession builds the SLen substrate for g, runs the initial query of
+// p (IQuery), and returns the live session.
+func NewSession(g *Graph, p *Pattern, opts Options) *Session {
+	return &Session{inner: core.NewSession(g, p, core.Config{
+		Method:  opts.Method,
+		Horizon: opts.Horizon,
+	})}
+}
+
+// SQuery processes one update batch and returns the new match.
+func (s *Session) SQuery(b Batch) *Match { return s.inner.SQuery(b) }
+
+// Result returns the node matching result Npi for pattern node u; empty
+// unless every pattern node has a match (BGS semantics).
+func (s *Session) Result(u PatternNodeID) NodeSet { return s.inner.Result(u) }
+
+// Matches returns the full current match.
+func (s *Session) Matches() *Match { return s.inner.Match }
+
+// Graph returns the session's (evolving) data graph.
+func (s *Session) Graph() *Graph { return s.inner.G }
+
+// Pattern returns the session's (evolving) pattern graph.
+func (s *Session) Pattern() *Pattern { return s.inner.P }
+
+// Stats reports the work of the last SQuery: amendment passes, EH-Tree
+// size and roots, eliminated updates, seed size, duration.
+func (s *Session) Stats() core.QueryStats { return s.inner.Stats }
+
+// Fork returns an independent copy of the session (deep copies of graph,
+// pattern, substrate and match).
+func (s *Session) Fork() *Session { return &Session{inner: s.inner.Fork()} }
+
+// Update constructors — data graph side.
+
+// InsertEdge inserts data edge u→v.
+func InsertEdge(u, v NodeID) Update {
+	return Update{Kind: updates.DataEdgeInsert, From: u, To: v}
+}
+
+// DeleteEdge deletes data edge u→v.
+func DeleteEdge(u, v NodeID) Update {
+	return Update{Kind: updates.DataEdgeDelete, From: u, To: v}
+}
+
+// InsertNode inserts a data node with the given labels. id must be the
+// id the graph will assign (Graph.NumIDs() at application time, offset
+// by earlier inserts in the same batch).
+func InsertNode(id NodeID, labels ...string) Update {
+	return Update{Kind: updates.DataNodeInsert, Node: id, Labels: labels}
+}
+
+// DeleteNode deletes data node id with its incident edges.
+func DeleteNode(id NodeID) Update {
+	return Update{Kind: updates.DataNodeDelete, Node: id}
+}
+
+// Update constructors — pattern side.
+
+// InsertPatternEdge inserts pattern edge u→v with bound b.
+func InsertPatternEdge(u, v PatternNodeID, b Bound) Update {
+	return Update{Kind: updates.PatternEdgeInsert, From: u, To: v, Bound: b}
+}
+
+// DeletePatternEdge deletes pattern edge u→v.
+func DeletePatternEdge(u, v PatternNodeID) Update {
+	return Update{Kind: updates.PatternEdgeDelete, From: u, To: v}
+}
+
+// InsertPatternNode inserts a pattern node with the given label (id as
+// for InsertNode, against the pattern's id sequence).
+func InsertPatternNode(id PatternNodeID, label string) Update {
+	return Update{Kind: updates.PatternNodeInsert, Node: id, Labels: []string{label}}
+}
+
+// DeletePatternNode deletes pattern node id with its incident edges.
+func DeletePatternNode(id PatternNodeID) Update {
+	return Update{Kind: updates.PatternNodeDelete, Node: id}
+}
+
+// GenerateBatch builds a random, replayable update batch consistent with
+// g and p: pTotal pattern updates and dTotal data updates balanced
+// across the four kinds on each side (the experiment protocol §VII-A).
+func GenerateBatch(seed int64, pTotal, dTotal int, g *Graph, p *Pattern) Batch {
+	return updates.Generate(updates.Balanced(seed, pTotal, dTotal), g, p)
+}
+
+// SocialGraphConfig parameterises the synthetic social graph generator.
+type SocialGraphConfig = datasets.SocialConfig
+
+// GenerateSocialGraph builds a synthetic label-homophilous social graph
+// with heavy-tailed degrees — the stand-in for the paper's SNAP datasets.
+func GenerateSocialGraph(cfg SocialGraphConfig) *Graph {
+	return datasets.GenerateSocial(cfg)
+}
+
+// PatternConfig parameterises random pattern generation.
+type PatternConfig = patgen.Config
+
+// GeneratePattern builds a random weakly-connected pattern whose labels
+// come from g (the socnetv stand-in of §VII-A).
+func GeneratePattern(cfg PatternConfig, g *Graph) *Pattern {
+	if len(cfg.Labels) == 0 {
+		cfg.Labels = patgen.LabelsOf(g)
+	}
+	return patgen.Generate(cfg, g.Labels())
+}

@@ -1,0 +1,159 @@
+package uagpnm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstart mirrors the doc-comment example end to end.
+func TestQuickstart(t *testing.T) {
+	g := NewGraph()
+	alice := g.AddNode("PM")
+	bob := g.AddNode("SE")
+	g.AddEdge(alice, bob)
+
+	p := NewPattern(g)
+	pm := p.AddNode("PM")
+	se := p.AddNode("SE")
+	p.AddEdge(pm, se, 3)
+
+	s := NewSession(g, p, Options{Method: UAGPNM})
+	if got := s.Result(pm); got.Len() != 1 || !got.Contains(alice) {
+		t.Fatalf("Result(pm) = %v, want {alice}", got)
+	}
+	batch := Batch{D: []Update{InsertEdge(bob, alice)}}
+	s.SQuery(batch)
+	if got := s.Result(se); !got.Contains(bob) {
+		t.Fatalf("Result(se) = %v, want bob present", got)
+	}
+	if s.Stats().Duration <= 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+// TestPaperScenario drives the paper's Fig. 1/2 scenario through the
+// public API with every method.
+func TestPaperScenario(t *testing.T) {
+	build := func() (*Graph, map[string]NodeID) {
+		g := NewGraph()
+		ids := map[string]NodeID{}
+		for _, n := range []struct{ name, label string }{
+			{"PM1", "PM"}, {"PM2", "PM"}, {"SE1", "SE"}, {"SE2", "SE"},
+			{"S1", "S"}, {"TE1", "TE"}, {"TE2", "TE"}, {"DB1", "DB"},
+		} {
+			ids[n.name] = g.AddNode(n.label)
+		}
+		for _, e := range [][2]string{
+			{"PM1", "SE2"}, {"PM1", "DB1"}, {"PM2", "SE1"}, {"SE1", "PM2"},
+			{"SE1", "SE2"}, {"SE1", "S1"}, {"SE2", "TE1"}, {"SE2", "DB1"},
+			{"S1", "DB1"}, {"TE1", "SE2"}, {"TE2", "S1"}, {"DB1", "SE1"},
+		} {
+			g.AddEdge(ids[e[0]], ids[e[1]])
+		}
+		return g, ids
+	}
+	for _, m := range []Method{Scratch, INCGPNM, EHGPNM, UAGPNMNoPar, UAGPNM} {
+		g, ids := build()
+		p := NewPattern(g)
+		pm := p.AddNode("PM")
+		se := p.AddNode("SE")
+		te := p.AddNode("TE")
+		sn := p.AddNode("S")
+		p.AddEdge(pm, se, 3)
+		p.AddEdge(pm, sn, 4)
+		p.AddEdge(se, te, 3)
+
+		s := NewSession(g, p, Options{Method: m})
+		if got := s.Result(pm); got.Len() != 2 {
+			t.Fatalf("%v: N(PM) = %v, want both PMs", m, got)
+		}
+		// The four updates of Example 2.
+		batch := Batch{
+			P: []Update{
+				InsertPatternEdge(pm, te, 2),
+				InsertPatternEdge(sn, te, 4),
+			},
+			D: []Update{
+				InsertEdge(ids["SE1"], ids["TE2"]),
+				InsertEdge(ids["DB1"], ids["S1"]),
+			},
+		}
+		s.SQuery(batch)
+		if got := s.Result(pm); got.Len() != 2 {
+			t.Fatalf("%v: after updates N(PM) = %v, want both PMs (cross elimination)", m, got)
+		}
+		if m == UAGPNM {
+			st := s.Stats()
+			if st.TreeSize != 4 || st.Eliminated != 3 {
+				t.Fatalf("UA stats = %+v, want Fig. 3 tree", st)
+			}
+		}
+	}
+}
+
+func TestParsePatternAPI(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("A")
+	p, err := ParsePattern(strings.NewReader("node a A\nnode b A\nedge a b *\n"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 2 || !p.HasStar() {
+		t.Fatal("pattern parse wrong")
+	}
+}
+
+func TestLoadGraphAPI(t *testing.T) {
+	g, err := LoadGraph(strings.NewReader("# c\n0\t1\n1\t2\n"), "person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGenerateHelpers(t *testing.T) {
+	g := GenerateSocialGraph(SocialGraphConfig{Nodes: 200, Edges: 800, Labels: 5, Homophily: 0.9, Seed: 3})
+	if g.NumNodes() != 200 {
+		t.Fatal("social graph generation failed")
+	}
+	p := GeneratePattern(PatternConfig{Nodes: 6, Edges: 6, Seed: 4}, g)
+	if p.NumNodes() != 6 {
+		t.Fatal("pattern generation failed")
+	}
+	b := GenerateBatch(5, 3, 10, g, p)
+	if b.Size() == 0 {
+		t.Fatal("batch generation failed")
+	}
+	s := NewSession(g, p, Options{Method: UAGPNM, Horizon: 3})
+	before := s.Matches()
+	after := s.SQuery(b)
+	_ = before
+	// Differential against scratch on a fork of the ORIGINAL state.
+	g2 := GenerateSocialGraph(SocialGraphConfig{Nodes: 200, Edges: 800, Labels: 5, Homophily: 0.9, Seed: 3})
+	p2 := GeneratePattern(PatternConfig{Nodes: 6, Edges: 6, Seed: 4}, g2)
+	ref := NewSession(g2, p2, Options{Method: Scratch, Horizon: 3})
+	want := ref.SQuery(b)
+	if !after.Equal(want) {
+		t.Fatal("public API path diverged from scratch")
+	}
+}
+
+func TestForkIndependencePublic(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("A")
+	b := g.AddNode("A")
+	g.AddEdge(a, b)
+	p := NewPattern(g)
+	pa := p.AddNode("A")
+	s := NewSession(g, p, Options{})
+	f := s.Fork()
+	f.SQuery(Batch{D: []Update{DeleteNode(b)}})
+	if got := s.Result(pa); got.Len() != 2 {
+		t.Fatal("fork mutation leaked")
+	}
+	if got := f.Result(pa); got.Len() != 1 {
+		t.Fatal("fork did not apply")
+	}
+}
