@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all vet build test short race fuzz ci bench-seed scaling
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick pass: skips the stress variants.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Brief fuzz pass over the graph text-format parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=20s ./internal/graph/
+	$(GO) test -fuzz=FuzzApplyLabels -fuzztime=20s ./internal/graph/
+
+# The tier-1 gate: what CI runs.
+ci: vet build race
+
+# Record the benchmark baseline (mini protocol, machine-readable).
+bench-seed:
+	$(GO) run ./cmd/gpnm-bench -mini -quiet -json BENCH_seed.json -table XI
+
+# UA-GPNM worker-pool sweep on a multi-partition workload.
+scaling:
+	$(GO) run ./cmd/gpnm-bench -scaling

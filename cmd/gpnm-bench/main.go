@@ -6,6 +6,9 @@
 //	gpnm-bench -table XI -table XII   # selected tables only
 //	gpnm-bench -figure 6              # the DBLP series (paper Fig. 6)
 //	gpnm-bench -reps 5 -csv cells.csv # more runs per cell + raw dump
+//	gpnm-bench -mini -json seed.json  # machine-readable cell dump
+//	gpnm-bench -scaling               # UA-GPNM worker-pool sweep (1..N)
+//	gpnm-bench -workers 1             # pin the engine pool (serial run)
 //
 // By default every table (XI–XIV) and every figure (5–9) is printed.
 // Absolute times differ from the paper (Go vs C++, stand-in datasets at
@@ -33,13 +36,32 @@ func main() {
 	reps := flag.Int("reps", 0, "runs per cell (default: 3 full, 2 mini)")
 	sizes := flag.Bool("all-sizes", true, "run all five pattern sizes (false = (8,8) only)")
 	csvPath := flag.String("csv", "", "also dump raw cells as CSV to this file")
+	jsonPath := flag.String("json", "", "also dump raw cells as JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	workers := flag.Int("workers", 0, "engine worker pool bound (0 = all cores, 1 = serial)")
+	scaling := flag.Bool("scaling", false, "run the UA-GPNM worker-scaling sweep instead of the paper protocol")
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
 	flag.Parse()
 
+	if *scaling {
+		cfg := bench.ScalingConfig{}
+		if *mini {
+			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Batches, cfg.Updates = 1500, 6000, 16, 2, 100
+		}
+		if *workers > 0 {
+			// Pinned pool: sweep serial vs exactly the requested bound.
+			cfg.Workers = []int{1, *workers}
+		}
+		res := bench.RunScaling(cfg)
+		fmt.Print(res.String())
+		writeJSON(*jsonPath, "scaling sweep", res.JSON)
+		return
+	}
+
 	p := bench.Default(*mini)
+	p.Workers = *workers
 	if *reps > 0 {
 		p.Reps = *reps
 	}
@@ -100,4 +122,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "raw cells written to %s\n", *csvPath)
 	}
+	writeJSON(*jsonPath, "raw cells", res.JSON)
+}
+
+// writeJSON renders via marshal and writes to path ("" = disabled),
+// exiting on failure.
+func writeJSON(path, what string, marshal func() ([]byte, error)) {
+	if path == "" {
+		return
+	}
+	out, err := marshal()
+	if err == nil {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnm-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
 }

@@ -58,25 +58,59 @@ func main() {
 	writeTo(*out+".edges", func(f *os.File) error { return g.WriteEdgeList(f) })
 	writeTo(*out+".labels", func(f *os.File) error { return g.WriteLabels(f) })
 
+	// The consumer (cmd/gpnm) reloads the edge list, which remaps node
+	// ids densely by first appearance and cannot carry isolated nodes —
+	// so the pattern and update script must be generated against the
+	// round-tripped graph, or their node ids would silently point
+	// elsewhere. The label file stays keyed by the original ids: the
+	// loader translates it through the same id map (ApplyLabelsMapped).
+	g2 := reload(*out)
+	if dropped := g.NumNodes() - g2.NumNodes(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "gpnm-gen: %d isolated node(s) not representable in the edge list; dropped\n", dropped)
+	}
+
 	p := uagpnm.GeneratePattern(uagpnm.PatternConfig{
 		Nodes: *patternNodes, Edges: *patternEdges,
 		BoundMin: 1, BoundMax: 3, Seed: *seed + 1,
-	}, g)
+	}, g2)
 	writeTo(*out+".pattern", func(f *os.File) error { return p.Format(f) })
 
 	fmt.Printf("%s: %d nodes, %d edges, %d labels → %s.edges/.labels/.pattern\n",
-		cfg.Name, g.NumNodes(), g.NumEdges(), g.Labels().Count(), *out)
+		cfg.Name, g2.NumNodes(), g2.NumEdges(), g2.Labels().Count(), *out)
 
 	if *updateScale != "" {
 		var pc, dc int
 		if _, err := fmt.Sscanf(strings.ReplaceAll(*updateScale, " ", ""), "%d,%d", &pc, &dc); err != nil {
 			fatalf("bad -updates %q (want p,d)", *updateScale)
 		}
-		batch := uagpnm.GenerateBatch(*seed+2, pc, dc, g, p)
+		batch := uagpnm.GenerateBatch(*seed+2, pc, dc, g2, p)
 		writeTo(*out+".updates", func(f *os.File) error { return writeScript(f, batch) })
 		fmt.Printf("update batch: %d pattern + %d data updates → %s.updates\n",
 			len(batch.P), len(batch.D), *out)
 	}
+}
+
+// reload reads the just-written artifacts back the way cmd/gpnm will,
+// yielding the graph in the consumer's id space.
+func reload(prefix string) *uagpnm.Graph {
+	ef, err := os.Open(prefix + ".edges")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	g2, idMap, err := uagpnm.LoadGraphWithIDs(ef, "node")
+	ef.Close()
+	if err != nil {
+		fatalf("re-reading %s.edges: %v", prefix, err)
+	}
+	lf, err := os.Open(prefix + ".labels")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := g2.ApplyLabelsMapped(lf, idMap); err != nil {
+		fatalf("re-reading %s.labels: %v", prefix, err)
+	}
+	lf.Close()
+	return g2
 }
 
 // writeScript emits a batch in the ParseScript format.

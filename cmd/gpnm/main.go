@@ -33,6 +33,7 @@ func main() {
 	updatesPath := flag.String("updates", "", "optional update script to process as SQuery")
 	methodName := flag.String("method", "UA-GPNM", "Scratch | INC-GPNM | EH-GPNM | UA-GPNM-NoPar | UA-GPNM")
 	horizon := flag.Int("horizon", 0, "SLen hop cap (0 = exact distances)")
+	workers := flag.Int("workers", 0, "engine worker pool bound (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	if *graphPath == "" || *patternPath == "" {
@@ -45,14 +46,20 @@ func main() {
 
 	gf, err := os.Open(*graphPath)
 	fatalIf(err)
-	g, err := uagpnm.LoadGraph(gf, "node")
+	g, idMap, err := uagpnm.LoadGraphWithIDs(gf, "node")
 	gf.Close()
 	fatalIf(err)
 	if *labelsPath != "" {
 		lf, err := os.Open(*labelsPath)
 		fatalIf(err)
-		fatalIf(g.ApplyLabels(lf))
+		// Label files are keyed by the edge list's original ids; the
+		// loader remapped those densely, so apply through the id map.
+		skipped, err := g.ApplyLabelsMapped(lf, idMap)
+		fatalIf(err)
 		lf.Close()
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "gpnm: %d label line(s) named nodes absent from the edge list (isolated); skipped\n", skipped)
+		}
 	}
 	pf, err := os.Open(*patternPath)
 	fatalIf(err)
@@ -64,7 +71,7 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges, %d labels\n", stats.Nodes, stats.Edges, stats.Labels)
 	fmt.Printf("pattern: %d nodes, %d edges (method %v)\n\n", p.NumNodes(), p.NumEdges(), method)
 
-	s := uagpnm.NewSession(g, p, uagpnm.Options{Method: method, Horizon: *horizon})
+	s := uagpnm.NewSession(g, p, uagpnm.Options{Method: method, Horizon: *horizon, Workers: *workers})
 	fmt.Println("IQuery result:")
 	printResult(s)
 

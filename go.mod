@@ -1,0 +1,3 @@
+module uagpnm
+
+go 1.24

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -234,27 +235,76 @@ func (r *Results) Figure(dataset string) string {
 }
 
 // CSV dumps every cell for external plotting, sorted deterministically.
+// cellLess is the canonical cell ordering shared by CSV and JSON dumps:
+// dataset, then pattern size, then ΔG scale, then method.
+func cellLess(a, c Cell) bool {
+	if a.Dataset != c.Dataset {
+		return a.Dataset < c.Dataset
+	}
+	if a.PatternSize != c.PatternSize {
+		return a.PatternSize[0] < c.PatternSize[0] ||
+			(a.PatternSize[0] == c.PatternSize[0] && a.PatternSize[1] < c.PatternSize[1])
+	}
+	if a.Scale != c.Scale {
+		return a.Scale[1] < c.Scale[1] || (a.Scale[1] == c.Scale[1] && a.Scale[0] < c.Scale[0])
+	}
+	return a.Method < c.Method
+}
+
 func (r *Results) CSV() string {
 	var b strings.Builder
 	b.WriteString("dataset,pattern_nodes,pattern_edges,scale_p,scale_d,method,runs,avg_seconds,avg_roots,avg_eliminated,avg_seeds\n")
 	cells := append([]Cell(nil), r.Cells...)
-	sort.Slice(cells, func(i, j int) bool {
-		a, c := cells[i], cells[j]
-		if a.Dataset != c.Dataset {
-			return a.Dataset < c.Dataset
-		}
-		if a.PatternSize != c.PatternSize {
-			return a.PatternSize[0] < c.PatternSize[0]
-		}
-		if a.Scale != c.Scale {
-			return a.Scale[1] < c.Scale[1]
-		}
-		return a.Method < c.Method
-	})
+	sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
 	for _, c := range cells {
 		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%s,%d,%.9f,%.2f,%.2f,%.1f\n",
 			c.Dataset, c.PatternSize[0], c.PatternSize[1], c.Scale[0], c.Scale[1],
 			c.Method, c.Runs, c.AvgSeconds(), c.AvgRoots, c.AvgEliminated, c.AvgSeeds)
 	}
 	return b.String()
+}
+
+// jsonCell mirrors Cell with stable, snake_case field names for the
+// machine-readable dump (BENCH files, CI baselines).
+type jsonCell struct {
+	Dataset      string  `json:"dataset"`
+	PatternNodes int     `json:"pattern_nodes"`
+	PatternEdges int     `json:"pattern_edges"`
+	ScaleP       int     `json:"scale_p"`
+	ScaleD       int     `json:"scale_d"`
+	Method       string  `json:"method"`
+	Runs         int     `json:"runs"`
+	AvgSeconds   float64 `json:"avg_seconds"`
+	AvgRoots     float64 `json:"avg_roots"`
+	AvgElim      float64 `json:"avg_eliminated"`
+	AvgSeeds     float64 `json:"avg_seeds"`
+}
+
+// JSON dumps every cell plus the per-method averages, sorted like CSV.
+func (r *Results) JSON() ([]byte, error) {
+	cells := append([]Cell(nil), r.Cells...)
+	sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
+	out := struct {
+		Workers        int                `json:"workers"`
+		Horizon        int                `json:"horizon"`
+		Reps           int                `json:"reps"`
+		MethodAverages map[string]float64 `json:"method_averages_seconds"`
+		Cells          []jsonCell         `json:"cells"`
+	}{
+		Workers:        r.Protocol.Workers,
+		Horizon:        r.Protocol.Horizon,
+		Reps:           r.Protocol.Reps,
+		MethodAverages: make(map[string]float64, len(r.Protocol.Methods)),
+	}
+	for _, m := range r.Protocol.Methods {
+		out.MethodAverages[m.String()] = r.MethodAverage("", m)
+	}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, jsonCell{
+			Dataset: c.Dataset, PatternNodes: c.PatternSize[0], PatternEdges: c.PatternSize[1],
+			ScaleP: c.Scale[0], ScaleD: c.Scale[1], Method: c.Method.String(), Runs: c.Runs,
+			AvgSeconds: c.AvgSeconds(), AvgRoots: c.AvgRoots, AvgElim: c.AvgEliminated, AvgSeeds: c.AvgSeeds,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

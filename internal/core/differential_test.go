@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"uagpnm/internal/updates"
+)
+
+// differentialSessions builds one session per configuration under test:
+// the five methods at the given worker bound, plus UA-GPNM pinned
+// serial and pinned to a wide pool, so the parallel partition engine is
+// differentially checked against both Scratch and its own serial twin.
+func differentialSessions(t *testing.T, seed int64, horizon int) []*Session {
+	t.Helper()
+	labels := []string{"A", "B", "C", "D", "E"}
+	rng := rand.New(rand.NewSource(seed))
+	g := randomLabeled(rng, 50, 140, labels)
+	p := randomPattern(rng, g.Labels(), 5, 6, labels)
+
+	var ss []*Session
+	for _, m := range Methods {
+		ss = append(ss, NewSession(g.Clone(), p.Clone(), Config{Method: m, Horizon: horizon}))
+	}
+	for _, workers := range []int{1, 4} {
+		ss = append(ss, NewSession(g.Clone(), p.Clone(),
+			Config{Method: UAGPNM, Horizon: horizon, Workers: workers}))
+	}
+	return ss
+}
+
+// TestDifferentialRandomScripts is the randomized differential harness
+// of the parallel engine work: every method — the parallel UA-GPNM
+// configurations included — processes the same random update scripts
+// (data and pattern updates mixed, via updates.Generate) and must
+// produce matches identical to Scratch after every batch.
+func TestDifferentialRandomScripts(t *testing.T) {
+	trials, rounds := 5, 4
+	if testing.Short() {
+		trials, rounds = 2, 3
+	}
+	for _, horizon := range []int{0, 3} {
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(31000 + trial)
+			ss := differentialSessions(t, seed, horizon)
+			scratch := ss[0]
+			for round := 0; round < rounds; round++ {
+				batch := updates.Generate(updates.Balanced(seed*100+int64(round), 3, 14),
+					scratch.G, scratch.P)
+				ref := scratch.SQuery(batch)
+				for i, s := range ss[1:] {
+					name := s.Method.String()
+					if i >= len(Methods)-1 {
+						name = fmt.Sprintf("%s(workers=%d)", s.Method, s.cfg.Workers)
+					}
+					if got := s.SQuery(batch); !got.Equal(ref) {
+						t.Fatalf("h=%d trial %d round %d: %s differs from Scratch (batch %v | %v)",
+							horizon, trial, round, name, batch.P, batch.D)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStressParallel is the race-hunting variant: forced
+// GOMAXPROCS > 1, a wide worker pool and a heavier update stream.
+// Skipped with -short; run it under -race.
+func TestDifferentialStressParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress variant skipped in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	labels := []string{"A", "B", "C", "D", "E", "F"}
+	rng := rand.New(rand.NewSource(777))
+	g := randomLabeled(rng, 90, 280, labels)
+	p := randomPattern(rng, g.Labels(), 6, 7, labels)
+
+	scratch := NewSession(g.Clone(), p.Clone(), Config{Method: Scratch, Horizon: 3})
+	par := NewSession(g.Clone(), p.Clone(), Config{Method: UAGPNM, Horizon: 3, Workers: 8})
+	for round := 0; round < 6; round++ {
+		batch := updates.Generate(updates.Balanced(int64(880+round), 4, 30), scratch.G, scratch.P)
+		ref := scratch.SQuery(batch)
+		if got := par.SQuery(batch); !got.Equal(ref) {
+			t.Fatalf("round %d: UA-GPNM(workers=8) diverged from Scratch", round)
+		}
+	}
+}

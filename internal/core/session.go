@@ -79,6 +79,14 @@ type Config struct {
 	// take the engine defaults).
 	DenseThreshold int
 	ELLWidth       int
+	// Workers bounds the engine's internal worker pool. For UA-GPNM it
+	// fans per-partition builds, overlay Dijkstras, batch affected-set
+	// balls and row prefetch across up to Workers goroutines; for the
+	// global-SLen methods it bounds the parallel matrix build. 0 selects
+	// GOMAXPROCS for UA-GPNM and the build default otherwise; 1 runs
+	// fully serial (the baseline configuration UA-GPNM-NoPar and the
+	// other baselines are measured in).
+	Workers int
 }
 
 // QueryStats records the work of the last SQuery.
@@ -146,6 +154,9 @@ func (s *Session) newEngine(g *graph.Graph) shortest.DistanceEngine {
 		if s.cfg.ELLWidth > 0 {
 			opts = append(opts, partition.WithELLWidth(s.cfg.ELLWidth))
 		}
+		if s.cfg.Workers > 0 {
+			opts = append(opts, partition.WithWorkers(s.cfg.Workers))
+		}
 		return partition.NewEngine(g, s.cfg.Horizon, opts...)
 	}
 	var opts []shortest.Option
@@ -154,6 +165,9 @@ func (s *Session) newEngine(g *graph.Graph) shortest.DistanceEngine {
 	}
 	if s.cfg.ELLWidth > 0 {
 		opts = append(opts, shortest.WithELLWidth(s.cfg.ELLWidth))
+	}
+	if s.cfg.Workers > 0 {
+		opts = append(opts, shortest.WithWorkers(s.cfg.Workers))
 	}
 	return shortest.NewEngine(g, s.cfg.Horizon, opts...)
 }

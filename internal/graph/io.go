@@ -86,6 +86,35 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 // nodes. Lines are "nodeID<TAB or space>label[,label...]"; '#' comments
 // and blank lines are skipped. Unknown node ids are an error.
 func (g *Graph) ApplyLabels(r io.Reader) error {
+	_, err := g.applyLabelLines(r, func(fileID uint64) (NodeID, bool, error) {
+		if fileID > uint64(^uint32(0)) {
+			return 0, false, fmt.Errorf("node id %d out of range", fileID)
+		}
+		id := NodeID(fileID)
+		if !g.Alive(id) {
+			return 0, false, fmt.Errorf("node %d not in graph", id)
+		}
+		return id, true, nil
+	})
+	return err
+}
+
+// ApplyLabelsMapped parses a label file whose node ids are the original
+// file ids of an edge list, translating them through the idMap returned
+// by ReadEdgeList. Ids absent from the map (isolated nodes an edge list
+// cannot carry) are skipped, and their count returned, rather than
+// failing the whole load.
+func (g *Graph) ApplyLabelsMapped(r io.Reader, idMap map[int64]NodeID) (skipped int, err error) {
+	return g.applyLabelLines(r, func(fileID uint64) (NodeID, bool, error) {
+		id, ok := idMap[int64(fileID)]
+		return id, ok, nil
+	})
+}
+
+// applyLabelLines is the shared label-file scanner behind ApplyLabels
+// and ApplyLabelsMapped; resolve turns a parsed file id into a graph
+// node (ok=false counts the line as skipped, an error aborts the load).
+func (g *Graph) applyLabelLines(r io.Reader, resolve func(fileID uint64) (NodeID, bool, error)) (skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -97,15 +126,19 @@ func (g *Graph) ApplyLabels(r io.Reader) error {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return fmt.Errorf("graph: label file line %d: want \"node labels\", got %q", line, text)
+			return skipped, fmt.Errorf("graph: label file line %d: want \"node labels\", got %q", line, text)
 		}
-		id64, err := strconv.ParseUint(fields[0], 10, 32)
+		fileID, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return fmt.Errorf("graph: label file line %d: %v", line, err)
+			return skipped, fmt.Errorf("graph: label file line %d: %v", line, err)
 		}
-		id := NodeID(id64)
-		if !g.Alive(id) {
-			return fmt.Errorf("graph: label file line %d: node %d not in graph", line, id)
+		id, ok, err := resolve(fileID)
+		if err != nil {
+			return skipped, fmt.Errorf("graph: label file line %d: %v", line, err)
+		}
+		if !ok {
+			skipped++
+			continue
 		}
 		var labs []LabelID
 		for _, name := range strings.Split(fields[1], ",") {
@@ -115,14 +148,14 @@ func (g *Graph) ApplyLabels(r io.Reader) error {
 			}
 		}
 		if len(labs) == 0 {
-			return fmt.Errorf("graph: label file line %d: node %d has no labels", line, id)
+			return skipped, fmt.Errorf("graph: label file line %d: node %d has no labels", line, fileID)
 		}
 		g.SetNodeLabels(id, labs...)
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("graph: reading label file: %v", err)
+		return skipped, fmt.Errorf("graph: reading label file: %v", err)
 	}
-	return nil
+	return skipped, nil
 }
 
 // WriteLabels emits the label file for the graph.

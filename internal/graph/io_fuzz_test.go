@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hammers the SNAP edge-list parser with arbitrary
+// input: it must never panic, must reject malformed lines with an
+// error (not a corrupt graph), and on success must return a graph
+// whose edges round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0\t1\n1\t2\n")
+	f.Add("# comment only\n")
+	f.Add("")
+	f.Add("0\t0\n")                      // self-loop: skipped, not an error
+	f.Add("0\t1\n0\t1\n")                // duplicate edge
+	f.Add("9999999999999999999999\t1\n") // overflowing id
+	f.Add("-3\t4\n")                     // negative id
+	f.Add("0\n")                         // truncated edge line
+	f.Add("a\tb\n")                      // non-numeric ids
+	f.Add("# FromNodeId\tToNodeId\n0 1") // header + space-separated, no newline
+	f.Add("0\t1\r\n2\t3\r\n")            // CRLF
+	f.Add("0\t1\t7\n")                   // trailing extra field (tolerated)
+	f.Add("\x00\t\x01\n")                // binary garbage
+	f.Add("0\t1\n\n\n2\t1\n# t\n3\t1\n") // blank lines and comments interleaved
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, idMap, err := ReadEdgeList(strings.NewReader(input), nil, "node")
+		if err != nil {
+			return // rejected input: nothing else to hold
+		}
+		if g == nil {
+			t.Fatal("nil graph without error")
+		}
+		// Every file id maps to a live node.
+		for fileID, id := range idMap {
+			if !g.Alive(id) {
+				t.Fatalf("file id %d mapped to dead node %d", fileID, id)
+			}
+		}
+		if g.NumNodes() != len(idMap) {
+			t.Fatalf("%d nodes for %d mapped file ids", g.NumNodes(), len(idMap))
+		}
+		// Accepted graphs are simple: no self-loops survive the parse.
+		g.Edges(func(e Edge) {
+			if e.From == e.To {
+				t.Fatalf("self-loop %d survived parsing", e.From)
+			}
+		})
+		// Round-trip: what we write must parse back to the same shape.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("writing parsed graph: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf, nil, "node")
+		if err != nil {
+			t.Fatalf("reparsing written graph: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip edges %d, want %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzApplyLabels fuzzes the label-file parser against a small fixed
+// graph: no panics, errors on unknown nodes or empty label sets, and on
+// success every named node holds at least one label.
+func FuzzApplyLabels(f *testing.F) {
+	f.Add("0\tPM\n1\tSE,DB\n")
+	f.Add("0 PM\n")
+	f.Add("5\tPM\n") // unknown node
+	f.Add("0\t,\n")  // labels dissolve to empty
+	f.Add("x\tPM\n") // non-numeric id
+	f.Add("0\n")     // missing label field
+	f.Add("# c\n\n2\tTE\n")
+	f.Add("0\tA,A,A\n") // duplicate labels
+	f.Add("4294967295\tA\n")
+	f.Add("-1\tA\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g := New(nil)
+		for i := 0; i < 3; i++ {
+			g.AddNode("node")
+		}
+		if err := g.ApplyLabels(strings.NewReader(input)); err != nil {
+			return
+		}
+		g.Nodes(func(id NodeID) {
+			if len(g.NodeLabels(id)) == 0 {
+				t.Fatalf("node %d left without labels", id)
+			}
+		})
+	})
+}

@@ -20,12 +20,19 @@ import (
 // state is witnessed by one of the two, so the union seeds the amendment
 // exactly as the per-update API would — at a fraction of the overlay
 // maintenance cost, which is what UA-GPNM's batching buys (§VI).
+//
+// The ball phases (1 and 4) are read-only snapshots of a fixed graph
+// state and run one update per worker; the structural phase (2) is
+// order-dependent and stays serial; the overlay reconciliation (3)
+// parallelises internally. Finally the stitched rows of the change log —
+// exactly the rows the subsequent amendment pass queries — are
+// pre-warmed across the pool.
 func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set) {
 	perUpdate = make([]nodeset.Set, len(ds))
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
-	for i, u := range ds {
-		switch u.Kind {
+	parallelFor(e.workers, len(ds), func(i int) {
+		switch u := ds[i]; u.Kind {
 		case updates.DataEdgeDelete:
 			if g.HasEdge(u.From, u.To) {
 				perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
@@ -35,7 +42,7 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 				perUpdate[i] = e.nodeAffected(u.Node, g.Out(u.Node), g.In(u.Node))
 			}
 		}
-	}
+	})
 
 	// Phase 2: structural application in update order; the overlay is
 	// left stale, accumulating dirty anchors.
@@ -72,23 +79,31 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	// Phase 3: one overlay reconciliation for the whole batch; the
 	// materialised row caches are stale either way.
 	if dirty.Len() > 0 {
-		e.ov.recompute(dirty.Set())
+		e.ov.recompute(dirty.Set(), e.workers)
 	}
 	e.invalidate()
 
 	// Phase 4: post-state balls for insertions; assemble the change log.
-	var log nodeset.Builder
-	for i, u := range ds {
+	parallelFor(e.workers, len(ds), func(i int) {
 		if !applied[i] {
-			continue
+			return
 		}
-		switch u.Kind {
+		switch u := ds[i]; u.Kind {
 		case updates.DataEdgeInsert:
 			perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
 		case updates.DataNodeInsert:
 			perUpdate[i] = nodeset.New(u.Node)
 		}
-		log.AddAll(perUpdate[i])
+	})
+	var log nodeset.Builder
+	for i := range ds {
+		if applied[i] {
+			log.AddAll(perUpdate[i])
+		}
 	}
-	return perUpdate, log.Set()
+	changeLog = log.Set()
+
+	// Warm the rows the amendment will query.
+	e.prefetchRows(changeLog)
+	return perUpdate, changeLog
 }

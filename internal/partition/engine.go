@@ -2,7 +2,9 @@ package partition
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
@@ -23,6 +25,15 @@ import (
 // touches one partition engine (and the overlay only when bridge-node
 // distances move); a cross edge touches only the overlay.
 //
+// Concurrency contract: the public API is single-goroutine like every
+// other DistanceEngine — callers never invoke methods concurrently. The
+// engine itself fans embarrassingly parallel phases (per-partition intra
+// builds, per-source overlay Dijkstras, per-update affected balls,
+// stitched-row prefetch) across a bounded worker pool sized by
+// WithWorkers; every parallel phase only reads shared structures and
+// keeps its mutable state in pooled per-worker scratch, with results
+// installed from a single goroutine.
+//
 // Engine implements shortest.DistanceEngine; affected sets are the
 // conservative ball supersets documented on each method.
 type Engine struct {
@@ -33,19 +44,20 @@ type Engine struct {
 	denseThreshold int
 	ellWidth       int
 	stitched       bool // assemble cached rows via §V stitching
+	workers        int  // worker pool bound (1 = serial)
 
-	ball ballScratch // stitched-ball scratch (engine is single-goroutine)
+	ballPool  sync.Pool // *ballScratch, per-worker stitched-ball state
+	gballPool sync.Pool // *shortest.GraphBall, per-worker adjacency BFS
 
 	// Materialised stitched rows, keyed by source node, built lazily at
 	// the full horizon on first query and dropped on any mutation. The
 	// matching fixpoint queries the same sources many times per
 	// amendment; caching makes repeat queries a plain row scan, as they
 	// would be on a materialised global SLen, while maintenance keeps
-	// the partition-local cost profile.
+	// the partition-local cost profile. ApplyDataBatch pre-warms the
+	// rows the next amendment is known to query (in parallel).
 	fwdCache map[uint32][]ballEntry
 	revCache map[uint32][]ballEntry
-
-	gball *shortest.GraphBall // adjacency BFS for affected-set balls
 }
 
 // invalidate drops the materialised row caches after any mutation.
@@ -70,6 +82,12 @@ func WithELLWidth(k int) Option { return func(e *Engine) { e.ellWidth = k } }
 // literal §V computation.
 func WithStitchedQueries() Option { return func(e *Engine) { e.stitched = true } }
 
+// WithWorkers bounds the engine's internal worker pool: per-partition
+// builds, overlay Dijkstras, batch affected-set balls and row prefetch
+// all fan across up to n goroutines. n ≤ 0 selects GOMAXPROCS; 1 runs
+// every phase serially (the UA-GPNM-NoPar-comparable baseline).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
 // NewEngine creates a partition-based SLen engine over g with the given
 // hop horizon (0 = exact). Call Build before querying.
 //
@@ -82,16 +100,28 @@ func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.initPools()
 	e.part = newPartitioning(g, horizon, e.denseThreshold, e.ellWidth)
 	e.ov = newOverlay(e.part)
-	e.gball = shortest.NewGraphBall()
 	return e
 }
 
-// Build computes every partition's intra distances and the overlay APSP.
+func (e *Engine) initPools() {
+	e.ballPool.New = func() interface{} { return new(ballScratch) }
+	e.gballPool.New = func() interface{} { return shortest.NewGraphBall() }
+}
+
+// Workers reports the engine's worker pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Build computes every partition's intra distances and the overlay APSP,
+// fanning both across the worker pool.
 func (e *Engine) Build() {
-	e.part.buildEngines()
-	e.ov.build()
+	e.part.buildEngines(e.workers)
+	e.ov.build(e.workers)
 	e.invalidate()
 }
 
@@ -257,7 +287,8 @@ func (e *Engine) cachedBall(x uint32, k int, reverse bool, fn func(v uint32, d s
 // WithStitchedQueries switches to assembling the row from the §V
 // structures (intra distances + bridge overlay); the two agree entry for
 // entry (enforced by tests), the stitched path being what Dist uses for
-// point queries either way.
+// point queries either way. buildRow only reads shared state (scratch is
+// pooled), so rows for distinct sources assemble concurrently.
 func (e *Engine) buildRow(x uint32, reverse bool) []ballEntry {
 	if e.stitched {
 		var row []ballEntry
@@ -267,16 +298,53 @@ func (e *Engine) buildRow(x uint32, reverse bool) []ballEntry {
 		})
 		return row
 	}
-	cols, dists := e.gball.Row(e.part.g, x, e.horizon, reverse) // horizon 0 = unbounded
+	gb := e.gballPool.Get().(*shortest.GraphBall)
+	cols, dists := gb.Row(e.part.g, x, e.horizon, reverse) // horizon 0 = unbounded
 	row := make([]ballEntry, len(cols))
 	for i, c := range cols {
 		row[i] = ballEntry{c, dists[i]}
 	}
+	e.gballPool.Put(gb)
 	return row
 }
 
-// ballScratch is epoch-stamped per-engine scratch for stitched ball
-// queries: visiting is O(touched), not O(|N|), with no per-call maps.
+// prefetchRows materialises the reverse rows of every live id into the
+// cache, assembling cache-miss rows across the worker pool. The
+// amendment pass that follows a batch queries exactly these rows — its
+// cascade closure starts from the change log and asks ReverseBall for
+// every member — so pre-warming converts its serial on-demand row
+// builds into one parallel sweep. Forward rows stay lazy: only the
+// change-log nodes that are also label candidates get forward queries,
+// so warming them would be speculative work.
+func (e *Engine) prefetchRows(ids nodeset.Set) {
+	if e.workers <= 1 || len(ids) < 2 {
+		return // lazy path: serial engines build rows on demand, as before
+	}
+	live := make([]uint32, 0, len(ids))
+	for _, x := range ids {
+		if e.oracleAlive(x) {
+			live = append(live, x)
+		}
+	}
+	n := len(live)
+	if n == 0 {
+		return
+	}
+	rows := make([][]ballEntry, n)
+	parallelFor(e.workers, n, func(i int) {
+		rows[i] = e.buildRow(live[i], true)
+	})
+	if e.revCache == nil {
+		e.revCache = make(map[uint32][]ballEntry, n)
+	}
+	for i, x := range live {
+		e.revCache[x] = rows[i]
+	}
+}
+
+// ballScratch is epoch-stamped scratch for stitched ball queries:
+// visiting is O(touched), not O(|N|), with no per-call maps. Instances
+// are pooled so concurrent stitched-row builds never share one.
 type ballScratch struct {
 	dist  []shortest.Dist
 	stamp []uint32
@@ -315,7 +383,7 @@ func (e *Engine) ballInto(x uint32, k int, reverse bool, fn func(v uint32, d sho
 	if e.horizon != 0 && k > e.horizon {
 		k = e.horizon
 	}
-	sc := &e.ball
+	sc := e.ballPool.Get().(*ballScratch)
 	sc.begin(e.part.g.NumIDs())
 	merge := sc.merge
 	// Intra segment.
@@ -356,12 +424,14 @@ func (e *Engine) ballInto(x uint32, k int, reverse bool, fn func(v uint32, d sho
 			return true
 		})
 	})
-	// Snapshot before emitting: callbacks may issue nested ball queries
-	// (the elimination cascade does), which re-enter the scratch.
+	// Snapshot before emitting, releasing the scratch first: callbacks may
+	// issue nested ball queries (the elimination cascade does), and the
+	// snapshot keeps them from observing a half-consumed scratch.
 	out := make([]ballEntry, len(sc.ids))
 	for i, id := range sc.ids {
 		out[i] = ballEntry{id, sc.dist[id]}
 	}
+	e.ballPool.Put(sc)
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	for _, en := range out {
 		if !fn(en.id, en.d) {
@@ -384,17 +454,21 @@ type ballEntry struct {
 // every pair whose old shortest path used the edge. The balls come from
 // a direct BFS over the data graph — the graph always reflects the same
 // state as the oracle, and adjacency BFS is far cheaper than stitching.
+// Read-only, with pooled scratch: safe to evaluate for many updates
+// concurrently.
 func (e *Engine) conservativeEdgeAffected(u, v uint32) nodeset.Set {
 	H := e.capHops()
+	gb := e.gballPool.Get().(*shortest.GraphBall)
 	var b nodeset.Builder
 	b.Add(u)
 	b.Add(v)
-	for _, x := range e.gball.Ball(e.part.g, u, H-1, true) {
+	for _, x := range gb.Ball(e.part.g, u, H-1, true) {
 		b.Add(x)
 	}
-	for _, y := range e.gball.Ball(e.part.g, v, H-1, false) {
+	for _, y := range gb.Ball(e.part.g, v, H-1, false) {
 		b.Add(y)
 	}
+	e.gballPool.Put(gb)
 	return b.Set()
 }
 
@@ -410,7 +484,7 @@ func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
 	var dirty nodeset.Builder
 	e.insertEdgeStructural(u, v, &dirty)
 	if dirty.Len() > 0 {
-		e.ov.recompute(dirty.Set())
+		e.ov.recompute(dirty.Set(), e.workers)
 	}
 	e.invalidate()
 	return e.conservativeEdgeAffected(u, v)
@@ -458,7 +532,7 @@ func (e *Engine) DeleteEdge(u, v uint32) nodeset.Set {
 	aff := e.conservativeEdgeAffected(u, v)
 	var dirty nodeset.Builder
 	e.deleteEdgeStructural(u, v, &dirty)
-	e.ov.recompute(dirty.Set())
+	e.ov.recompute(dirty.Set(), e.workers)
 	e.invalidate()
 	return aff
 }
@@ -493,9 +567,7 @@ func (e *Engine) insertNodeStructural(id uint32) {
 	pi := e.part.addToPart(id)
 	pt := e.part.parts[pi]
 	if pt.eng == nil {
-		pt.eng = shortest.NewEngine(pt.sub, e.horizon,
-			shortest.WithDenseThreshold(e.denseThreshold),
-			shortest.WithELLWidth(e.ellWidth))
+		pt.eng = e.part.newSubEngine(pt.sub, 1) // fresh partition: one node
 		pt.eng.Build()
 	} else {
 		pt.eng.InsertNode(e.part.localOf[id])
@@ -508,27 +580,31 @@ func (e *Engine) PreviewDeleteNode(id uint32) nodeset.Set {
 	return e.nodeAffected(id, e.part.g.Out(id), e.part.g.In(id))
 }
 
+// nodeAffected is read-only with pooled scratch, like
+// conservativeEdgeAffected.
 func (e *Engine) nodeAffected(id uint32, outs, ins []uint32) nodeset.Set {
 	H := e.capHops()
 	g := e.part.g
+	gb := e.gballPool.Get().(*shortest.GraphBall)
 	var b nodeset.Builder
 	b.Add(id)
-	for _, y := range e.gball.Ball(g, id, H, false) {
+	for _, y := range gb.Ball(g, id, H, false) {
 		b.Add(y)
 	}
-	for _, x := range e.gball.Ball(g, id, H, true) {
+	for _, x := range gb.Ball(g, id, H, true) {
 		b.Add(x)
 	}
 	for _, v := range outs {
-		for _, y := range e.gball.Ball(g, v, H-1, false) {
+		for _, y := range gb.Ball(g, v, H-1, false) {
 			b.Add(y)
 		}
 	}
 	for _, u := range ins {
-		for _, x := range e.gball.Ball(g, u, H-1, true) {
+		for _, x := range gb.Ball(g, u, H-1, true) {
 			b.Add(x)
 		}
 	}
+	e.gballPool.Put(gb)
 	return b.Set()
 }
 
@@ -546,7 +622,7 @@ func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
 	aff := e.nodeAffected(id, outs, ins)
 	var dirty nodeset.Builder
 	e.deleteNodeStructural(id, removed, &dirty)
-	e.ov.recompute(dirty.Set())
+	e.ov.recompute(dirty.Set(), e.workers)
 	e.invalidate()
 	return aff
 }
@@ -573,24 +649,32 @@ func (e *Engine) deleteNodeStructural(id uint32, removed []graph.Edge, dirty *no
 	e.part.partOf[id] = none
 }
 
-// EnsureHorizon widens a capped engine to cover bound k.
+// EnsureHorizon widens a capped engine to cover bound k, rebuilding the
+// per-partition engines in parallel.
 func (e *Engine) EnsureHorizon(k int) {
 	if e.horizon == 0 || k <= e.horizon {
 		return
 	}
 	e.horizon = k
 	e.part.horizon = k
-	for _, pt := range e.part.parts {
-		pt.eng.EnsureHorizon(k)
-	}
-	e.ov.build()
+	parallelFor(e.workers, len(e.part.parts), func(i int) {
+		e.part.parts[i].eng.EnsureHorizon(k)
+	})
+	e.ov.build(e.workers)
 	e.invalidate()
 }
 
 // CloneFor returns an independent copy of the engine operating on g2,
 // a clone of the engine's graph.
 func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
-	c := &Engine{horizon: e.horizon, denseThreshold: e.denseThreshold, ellWidth: e.ellWidth, stitched: e.stitched}
+	c := &Engine{
+		horizon:        e.horizon,
+		denseThreshold: e.denseThreshold,
+		ellWidth:       e.ellWidth,
+		stitched:       e.stitched,
+		workers:        e.workers,
+	}
+	c.initPools()
 	p := e.part
 	cp := &Partitioning{
 		g:              g2,
@@ -618,12 +702,9 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 		})
 	}
 	c.part = cp
-	c.ov = &overlay{
-		p:   cp,
-		fwd: e.ov.fwd.Clone(),
-		rev: e.ov.rev.Clone(),
-	}
-	c.gball = shortest.NewGraphBall()
+	c.ov = newOverlay(cp)
+	c.ov.fwd = e.ov.fwd.Clone()
+	c.ov.rev = e.ov.rev.Clone()
 	return c
 }
 

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"sync"
+
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/shortest"
 )
@@ -19,47 +21,65 @@ import (
 //
 // Adjacency is never materialised: Dijkstra asks the partitioning for
 // neighbours live, so intra-distance changes are picked up for free.
+//
+// Concurrency: Dijkstra runs are read-only over the partition structures
+// and carry their own scratch (pooled), so build and recompute fan the
+// per-source runs across a bounded worker pool and install the finished
+// rows from a single goroutine — fwd and rev are only ever mutated
+// serially.
 type overlay struct {
 	p        *Partitioning
 	fwd, rev shortest.Matrix
 
-	// epoch-stamped Dijkstra scratch
+	// scratch pools per-worker Dijkstra state.
+	scratch sync.Pool
+
+	// row snapshot buffers for installRow (serial use only).
+	oldCols []uint32
+	oldVals []shortest.Dist
+}
+
+func newOverlay(p *Partitioning) *overlay {
+	o := &overlay{p: p}
+	o.scratch.New = func() interface{} { return new(dijkstraScratch) }
+	// Zero-row placeholders: build() allocates the real matrices (and
+	// CloneFor swaps in cloned ones), so sizing them here would only
+	// produce garbage; recompute grows them on demand either way.
+	o.fwd = shortest.NewHybrid(0, 8)
+	o.rev = shortest.NewHybrid(0, 8)
+	return o
+}
+
+// dijkstraScratch is the epoch-stamped working state of one capped
+// Dijkstra run. Each worker borrows one from the overlay's pool, so runs
+// on different goroutines never share mutable state.
+type dijkstraScratch struct {
 	heap    dijkstraHeap
 	dist    []shortest.Dist
 	stamp   []uint32
 	epoch   uint32
 	touched []uint32
 	distRow []shortest.Dist
-	oldCols []uint32
-	oldVals []shortest.Dist
 }
 
-func newOverlay(p *Partitioning) *overlay {
-	n := p.g.NumIDs()
-	o := &overlay{p: p}
-	o.fwd = shortest.NewHybrid(n, 8)
-	o.rev = shortest.NewHybrid(n, 8)
-	return o
-}
-
-func (o *overlay) setDist(id uint32, d shortest.Dist) {
-	if int(id) >= len(o.stamp) {
-		grow := int(id) + 1 - len(o.stamp)
-		o.dist = append(o.dist, make([]shortest.Dist, grow)...)
-		o.stamp = append(o.stamp, make([]uint32, grow)...)
+func (sc *dijkstraScratch) setDist(id uint32, d shortest.Dist) {
+	if int(id) >= len(sc.stamp) {
+		grow := int(id) + 1 - len(sc.stamp)
+		sc.dist = append(sc.dist, make([]shortest.Dist, grow)...)
+		sc.stamp = append(sc.stamp, make([]uint32, grow)...)
 	}
-	if o.stamp[id] != o.epoch {
-		o.stamp[id] = o.epoch
-		o.touched = append(o.touched, id)
+	if sc.stamp[id] != sc.epoch {
+		sc.stamp[id] = sc.epoch
+		sc.touched = append(sc.touched, id)
 	}
-	o.dist[id] = d
+	sc.dist[id] = d
 }
 
-func (o *overlay) getDist(id uint32) (shortest.Dist, bool) {
-	if int(id) >= len(o.stamp) || o.stamp[id] != o.epoch {
+func (sc *dijkstraScratch) getDist(id uint32) (shortest.Dist, bool) {
+	if int(id) >= len(sc.stamp) || sc.stamp[id] != sc.epoch {
 		return 0, false
 	}
-	return o.dist[id], true
+	return sc.dist[id], true
 }
 
 func (o *overlay) cap() int {
@@ -121,20 +141,22 @@ func (o *overlay) revNeighbors(u uint32, fn func(v uint32, w shortest.Dist)) {
 
 // dijkstra runs a capped Dijkstra from src over the overlay (reverse
 // follows predecessor edges) and returns ascending (cols, dists),
-// src included at 0. Results alias scratch and are valid until next call.
-func (o *overlay) dijkstra(src uint32, reverse bool) ([]uint32, []shortest.Dist) {
+// src included at 0. Results alias sc and are valid until its next run;
+// it only reads the overlay/partition structures, so concurrent runs on
+// distinct scratches are safe.
+func (o *overlay) dijkstra(sc *dijkstraScratch, src uint32, reverse bool) ([]uint32, []shortest.Dist) {
 	H := shortest.Dist(o.cap())
-	o.epoch++
-	o.touched = o.touched[:0]
-	o.heap = o.heap[:0]
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+	sc.heap = sc.heap[:0]
 	if !o.p.g.Alive(src) || !o.p.isOverlay(src) {
 		return nil, nil
 	}
-	o.setDist(src, 0)
-	o.heap.push(heapItem{0, src})
-	for len(o.heap) > 0 {
-		it := o.heap.pop()
-		if d, ok := o.getDist(it.id); ok && it.d > d {
+	sc.setDist(src, 0)
+	sc.heap.push(heapItem{0, src})
+	for len(sc.heap) > 0 {
+		it := sc.heap.pop()
+		if d, ok := sc.getDist(it.id); ok && it.d > d {
 			continue // stale entry
 		}
 		visit := func(v uint32, w shortest.Dist) {
@@ -142,9 +164,9 @@ func (o *overlay) dijkstra(src uint32, reverse bool) ([]uint32, []shortest.Dist)
 			if nd > H {
 				return
 			}
-			if cur, ok := o.getDist(v); !ok || nd < cur {
-				o.setDist(v, nd)
-				o.heap.push(heapItem{nd, v})
+			if cur, ok := sc.getDist(v); !ok || nd < cur {
+				sc.setDist(v, nd)
+				sc.heap.push(heapItem{nd, v})
 			}
 		}
 		if reverse {
@@ -153,16 +175,42 @@ func (o *overlay) dijkstra(src uint32, reverse bool) ([]uint32, []shortest.Dist)
 			o.neighbors(it.id, visit)
 		}
 	}
-	nodeset.SortIDs(o.touched)
-	cols := o.touched
-	if cap(o.distRow) < len(cols) {
-		o.distRow = make([]shortest.Dist, len(cols))
+	nodeset.SortIDs(sc.touched)
+	cols := sc.touched
+	if cap(sc.distRow) < len(cols) {
+		sc.distRow = make([]shortest.Dist, len(cols))
 	}
-	dists := o.distRow[:len(cols)]
+	dists := sc.distRow[:len(cols)]
 	for i, c := range cols {
-		dists[i] = o.dist[c]
+		dists[i] = sc.dist[c]
 	}
 	return cols, dists
+}
+
+// overlayRow is one finished Dijkstra row, copied out of scratch so the
+// scratch can return to the pool while the row waits for serial install.
+type overlayRow struct {
+	src   uint32
+	cols  []uint32
+	dists []shortest.Dist
+}
+
+// computeRows fans capped Dijkstras from each source across the worker
+// pool and returns the finished rows indexed like srcs. Dead or
+// non-bridge sources yield empty rows.
+func (o *overlay) computeRows(srcs []uint32, workers int, reverse bool) []overlayRow {
+	rows := make([]overlayRow, len(srcs))
+	parallelFor(workers, len(srcs), func(i int) {
+		sc := o.scratch.Get().(*dijkstraScratch)
+		cols, dists := o.dijkstra(sc, srcs[i], reverse)
+		rows[i] = overlayRow{
+			src:   srcs[i],
+			cols:  append([]uint32(nil), cols...),
+			dists: append([]shortest.Dist(nil), dists...),
+		}
+		o.scratch.Put(sc)
+	})
+	return rows
 }
 
 // overlayNodes returns every current bridge node, sorted.
@@ -179,16 +227,16 @@ func (o *overlay) overlayNodes() []uint32 {
 	return b.Set()
 }
 
-// build computes all-pairs overlay distances from scratch.
-func (o *overlay) build() {
+// build computes all-pairs overlay distances from scratch, one parallel
+// Dijkstra per bridge node.
+func (o *overlay) build(workers int) {
 	n := o.p.g.NumIDs()
 	o.fwd = shortest.NewHybrid(n, 8)
 	o.rev = shortest.NewHybrid(n, 8)
-	for _, u := range o.overlayNodes() {
-		cols, dists := o.dijkstra(u, false)
-		o.fwd.SetRow(u, cols, dists)
-		for i, c := range cols {
-			o.rev.Set(c, u, dists[i])
+	for _, row := range o.computeRows(o.overlayNodes(), workers, false) {
+		o.fwd.SetRow(row.src, row.cols, row.dists)
+		for i, c := range row.cols {
+			o.rev.Set(c, row.src, row.dists[i])
 		}
 	}
 }
@@ -205,32 +253,30 @@ func (o *overlay) distBetween(u, b uint32) shortest.Dist {
 // changes touch the anchor nodes in dirty (new/removed bridge nodes,
 // bridge nodes of partitions whose intra distances changed, endpoints of
 // added/removed cross edges). Partition subgraphs and counters must
-// already reflect the new state.
-func (o *overlay) recompute(dirty nodeset.Set) {
+// already reflect the new state. Both the per-anchor source discovery
+// (reverse Dijkstras) and the per-source row recomputation (forward
+// Dijkstras) run on the worker pool; rows are installed serially.
+func (o *overlay) recompute(dirty nodeset.Set, workers int) {
 	o.fwd.GrowTo(o.p.g.NumIDs())
 	o.rev.GrowTo(o.p.g.NumIDs())
 	// Sources whose rows may change: anything that reached a dirty anchor
 	// under the old metric (old rev rows), anything that reaches it under
 	// the new metric (reverse Dijkstra on the new state), and the anchors
 	// themselves.
+	reached := o.computeRows(dirty, workers, true)
 	srcs := nodeset.NewBits(o.p.g.NumIDs())
-	for _, d := range dirty {
+	for i, d := range dirty {
 		srcs.Add(d)
 		o.rev.Row(d, func(c uint32, _ shortest.Dist) bool { srcs.Add(c); return true })
-		cols, _ := o.dijkstra(d, true)
-		for _, c := range cols {
+		for _, c := range reached[i].cols {
 			srcs.Add(c)
 		}
 	}
-	srcs.Range(func(s uint32) bool {
-		var cols []uint32
-		var dists []shortest.Dist
-		if o.p.g.Alive(s) && o.p.isOverlay(s) {
-			cols, dists = o.dijkstra(s, false)
-		}
-		o.installRow(s, cols, dists)
-		return true
-	})
+	var srcList []uint32
+	srcs.Range(func(s uint32) bool { srcList = append(srcList, s); return true })
+	for _, row := range o.computeRows(srcList, workers, false) {
+		o.installRow(row.src, row.cols, row.dists)
+	}
 }
 
 // installRow replaces fwd row s, mirroring deltas into rev.

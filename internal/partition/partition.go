@@ -195,14 +195,31 @@ func (p *Partitioning) intraDist(x, y uint32) shortest.Dist {
 	return pt.eng.Dist(p.localOf[x], p.localOf[y])
 }
 
-// buildEngines (re)builds every partition's intra SLen engine.
-func (p *Partitioning) buildEngines() {
-	for _, pt := range p.parts {
-		pt.eng = shortest.NewEngine(pt.sub, p.horizon,
-			shortest.WithDenseThreshold(p.denseThreshold),
-			shortest.WithELLWidth(p.ellWidth))
-		pt.eng.Build()
+// newSubEngine creates one partition's intra SLen engine with the given
+// internal build fan-out.
+func (p *Partitioning) newSubEngine(sub *graph.Graph, subWorkers int) *shortest.Engine {
+	return shortest.NewEngine(sub, p.horizon,
+		shortest.WithDenseThreshold(p.denseThreshold),
+		shortest.WithELLWidth(p.ellWidth),
+		shortest.WithWorkers(subWorkers))
+}
+
+// buildEngines (re)builds every partition's intra SLen engine, one
+// partition per worker — partitions are disjoint, so the builds share
+// nothing but the read-only label table. The pool is split across the
+// two levels: with fewer partitions than workers, each sub-engine's BFS
+// build gets the leftover share, so a 2-partition graph on a 16-way
+// pool still builds 16-wide instead of 2-wide.
+func (p *Partitioning) buildEngines(workers int) {
+	sub := 1
+	if len(p.parts) > 0 && workers > len(p.parts) {
+		sub = (workers + len(p.parts) - 1) / len(p.parts)
 	}
+	parallelFor(workers, len(p.parts), func(i int) {
+		pt := p.parts[i]
+		pt.eng = p.newSubEngine(pt.sub, sub)
+		pt.eng.Build()
+	})
 }
 
 // InnerBridgeNodes returns IB(P) for the partition labelled lab, by

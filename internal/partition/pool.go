@@ -1,0 +1,46 @@
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0,n) across at most workers
+// goroutines, returning when all calls have finished. workers ≤ 1 (or
+// n ≤ 1) degenerates to a plain serial loop with no goroutine or channel
+// overhead, so serial mode stays bit-for-bit the single-threaded engine.
+//
+// Work is handed out through an atomic counter rather than pre-sliced
+// ranges: per-item cost varies wildly here (partition sizes are
+// heavy-tailed, Dijkstra frontiers differ per source), and dynamic
+// claiming keeps the stragglers from serialising the tail.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

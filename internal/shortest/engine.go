@@ -31,6 +31,7 @@ type Engine struct {
 
 	denseThreshold int
 	ellWidth       int
+	workers        int // Build fan-out; 0 = GOMAXPROCS, 1 = serial
 
 	// row snapshot buffers for diffing during recompute
 	oldCols  []uint32
@@ -46,6 +47,11 @@ func WithDenseThreshold(n int) Option { return func(e *Engine) { e.denseThreshol
 
 // WithELLWidth sets the hybrid backend's ELL row width (default 16).
 func WithELLWidth(k int) Option { return func(e *Engine) { e.ellWidth = k } }
+
+// WithWorkers bounds the goroutines used by Build's parallel BFS
+// (0 = GOMAXPROCS, 1 = fully serial). Incremental maintenance is
+// single-goroutine regardless.
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 
 // NewEngine creates an SLen engine over g with the given hop horizon
 // (0 = exact). Call Build before querying.
@@ -101,7 +107,10 @@ type builtRow struct {
 
 func (e *Engine) buildInto(m Matrix, reverse bool) {
 	n := e.g.NumIDs()
-	workers := runtime.GOMAXPROCS(0)
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -440,6 +449,7 @@ func (e *Engine) Clone(g2 *graph.Graph) *Engine {
 		scratch:        newBFSScratch(g2.NumIDs()),
 		denseThreshold: e.denseThreshold,
 		ellWidth:       e.ellWidth,
+		workers:        e.workers,
 	}
 }
 

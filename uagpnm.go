@@ -106,6 +106,14 @@ func LoadGraph(r io.Reader, defaultLabel string) (*Graph, error) {
 	return g, err
 }
 
+// LoadGraphWithIDs is LoadGraph plus the file-id → graph-id mapping.
+// Edge-list node ids are remapped densely in order of first appearance,
+// so a label file keyed by the original file ids must be applied through
+// the map (Graph.ApplyLabelsMapped) rather than Graph.ApplyLabels.
+func LoadGraphWithIDs(r io.Reader, defaultLabel string) (*Graph, map[int64]NodeID, error) {
+	return graph.ReadEdgeList(r, nil, defaultLabel)
+}
+
 // NewPattern returns an empty pattern sharing g's label table (labels
 // must be shared for matching to align).
 func NewPattern(g *Graph) *Pattern { return pattern.New(g.Labels()) }
@@ -124,6 +132,12 @@ type Options struct {
 	// (suitable for small graphs and patterns with "*" bounds). It is
 	// raised automatically to the pattern's largest finite bound.
 	Horizon int
+	// Workers bounds the SLen substrate's internal worker pool. With
+	// Method UAGPNM the partition engine fans per-partition builds,
+	// overlay maintenance and batch affected-set computation across up
+	// to Workers goroutines (0 = all cores); 1 runs fully serial, which
+	// is how the baselines — UA-GPNM-NoPar included — are compared.
+	Workers int
 }
 
 // Session is an evolving GPNM query over one graph and pattern. The
@@ -139,6 +153,7 @@ func NewSession(g *Graph, p *Pattern, opts Options) *Session {
 	return &Session{inner: core.NewSession(g, p, core.Config{
 		Method:  opts.Method,
 		Horizon: opts.Horizon,
+		Workers: opts.Workers,
 	})}
 }
 
