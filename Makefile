@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test short race fuzz ci bench-seed scaling
+.PHONY: all vet build test short race fuzz ci bench-seed scaling bench bench-hub serve smoke
 
 all: ci
 
@@ -35,3 +35,21 @@ bench-seed:
 # UA-GPNM worker-pool sweep on a multi-partition workload.
 scaling:
 	$(GO) run ./cmd/gpnm-bench -scaling
+
+# The evaluation pass: the mini paper protocol plus the standing-query
+# amortisation scenario (one hub vs 8 independent sessions).
+bench:
+	$(GO) run ./cmd/gpnm-bench -mini -quiet -table XI
+	$(GO) run ./cmd/gpnm-bench -patterns 8
+
+# Record the hub amortisation baseline (machine-readable).
+bench-hub:
+	$(GO) run ./cmd/gpnm-bench -patterns 8 -json BENCH_hub.json
+
+# Standing-query HTTP server on a synthetic demo graph.
+serve:
+	$(GO) run ./cmd/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
+
+# HTTP smoke test: start gpnm-serve, register, apply, assert the delta.
+smoke:
+	bash scripts/serve_smoke.sh

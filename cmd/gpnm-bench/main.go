@@ -9,6 +9,7 @@
 //	gpnm-bench -mini -json seed.json  # machine-readable cell dump
 //	gpnm-bench -scaling               # UA-GPNM worker-pool sweep (1..N)
 //	gpnm-bench -workers 1             # pin the engine pool (serial run)
+//	gpnm-bench -patterns 8            # standing-query hub vs 8 sessions
 //
 // By default every table (XI–XIV) and every figure (5–9) is printed.
 // Absolute times differ from the paper (Go vs C++, stand-in datasets at
@@ -40,10 +41,23 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	workers := flag.Int("workers", 0, "engine worker pool bound (0 = all cores, 1 = serial)")
 	scaling := flag.Bool("scaling", false, "run the UA-GPNM worker-scaling sweep instead of the paper protocol")
+	patterns := flag.Int("patterns", 0, "run the N-pattern standing-query amortisation scenario (hub vs N sessions) instead of the paper protocol")
+	noVerify := flag.Bool("no-verify", false, "skip the hub-vs-sessions equality check in the -patterns scenario")
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
 	flag.Parse()
+
+	if *patterns > 0 {
+		cfg := bench.MultiPatternConfig{Patterns: *patterns, Workers: *workers, Verify: !*noVerify}
+		if *mini {
+			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Batches, cfg.Updates = 1200, 4800, 12, 2, 80
+		}
+		res := bench.RunMultiPattern(cfg)
+		fmt.Print(res.String())
+		writeJSON(*jsonPath, "standing-query amortisation", res.JSON)
+		return
+	}
 
 	if *scaling {
 		cfg := bench.ScalingConfig{}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"uagpnm"
+	"uagpnm/internal/updates"
+)
+
+// server exposes one standing-query hub over HTTP/JSON. Every handler
+// is a thin adapter: parsing and rendering here, all matching semantics
+// in the hub (which is safe for concurrent handlers by construction).
+type server struct {
+	hub         *uagpnm.Hub
+	pollTimeout time.Duration // cap for ?timeout= on the delta long-poll
+}
+
+func newServer(h *uagpnm.Hub, pollTimeout time.Duration) *server {
+	if pollTimeout <= 0 {
+		pollTimeout = 30 * time.Second
+	}
+	return &server{hub: h, pollTimeout: pollTimeout}
+}
+
+// routes wires the endpoint table:
+//
+//	GET    /healthz              liveness + hub stats
+//	POST   /patterns             register a pattern (textual DSL), returns id + initial result
+//	GET    /patterns/{id}        current result of one standing query
+//	DELETE /patterns/{id}        unregister
+//	GET    /patterns/{id}/deltas long-poll changes since ?since=SEQ
+//	POST   /apply                apply one update batch (data + per-pattern scripts)
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /patterns", s.handleRegister)
+	mux.HandleFunc("GET /patterns/{id}", s.handleResult)
+	mux.HandleFunc("DELETE /patterns/{id}", s.handleUnregister)
+	mux.HandleFunc("GET /patterns/{id}/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /apply", s.handleApply)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) patternID(r *http.Request) (uagpnm.PatternID, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad pattern id %q", raw)
+	}
+	return uagpnm.PatternID(id), nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.hub.GraphStats() // synchronised: /apply may be mutating the graph
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ok":       true,
+		"seq":      s.hub.Seq(),
+		"patterns": len(s.hub.Patterns()),
+		"nodes":    st.Nodes,
+		"edges":    st.Edges,
+		"labels":   st.Labels,
+	})
+}
+
+type registerRequest struct {
+	// Pattern is the textual pattern DSL ("node <name> <label>" /
+	// "edge <from> <to> <bound>" lines).
+	Pattern string `json:"pattern"`
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	// RegisterScript parses under the hub's lock: interning a new label
+	// must not race a concurrent /apply or register.
+	id, err := s.hub.RegisterScript(strings.NewReader(req.Pattern))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.renderResult(id))
+}
+
+// resultBody renders one standing query's current state.
+type resultBody struct {
+	ID    uagpnm.PatternID `json:"id"`
+	Seq   uint64           `json:"seq"`
+	Total bool             `json:"total"`
+	Nodes []resultNode     `json:"nodes"`
+}
+
+type resultNode struct {
+	Node    uagpnm.PatternNodeID `json:"node"`
+	Name    string               `json:"name"`
+	Label   string               `json:"label"`
+	Matches []uint32             `json:"matches"`
+}
+
+func (s *server) renderResult(id uagpnm.PatternID) *resultBody {
+	// One consistent snapshot: pattern, match and seq must describe the
+	// same epoch even when a batch lands mid-render.
+	p, m, seq, ok := s.hub.Snapshot(id)
+	if !ok {
+		return nil
+	}
+	body := &resultBody{ID: id, Seq: seq, Total: m.Total(), Nodes: []resultNode{}}
+	p.Nodes(func(u uagpnm.PatternNodeID) {
+		body.Nodes = append(body.Nodes, resultNode{
+			Node:    u,
+			Name:    p.Name(u),
+			Label:   p.LabelName(u),
+			Matches: setSlice(m.Nodes(u)),
+		})
+	})
+	return body
+}
+
+func setSlice(s uagpnm.NodeSet) []uint32 {
+	if len(s) == 0 {
+		return []uint32{}
+	}
+	return s
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := s.patternID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := s.renderResult(id)
+	if body == nil {
+		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	id, err := s.patternID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.hub.Unregister(id) {
+		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type applyRequest struct {
+	// Data is an update script for the shared data graph (one "+e u v" /
+	// "-e u v" / "+n id label,..." / "-n id" directive per line).
+	Data string `json:"data"`
+	// Patterns maps pattern ids to ΔGP scripts ("+pe u v k", "-pe u v",
+	// "+pn id label", "-pn id").
+	Patterns map[string]string `json:"patterns"`
+}
+
+type applyResponse struct {
+	Seq    uint64      `json:"seq"`
+	Deltas []deltaBody `json:"deltas"`
+	// SLenSyncMillis is the shared substrate synchronisation cost this
+	// batch paid once, for all patterns together.
+	SLenSyncMillis float64 `json:"slen_sync_millis"`
+}
+
+type deltaBody struct {
+	Pattern uagpnm.PatternID `json:"pattern"`
+	Seq     uint64           `json:"seq"`
+	Nodes   []deltaNode      `json:"nodes"`
+}
+
+type deltaNode struct {
+	Node    uagpnm.PatternNodeID `json:"node"`
+	Added   []uint32             `json:"added"`
+	Removed []uint32             `json:"removed"`
+}
+
+func renderDelta(d uagpnm.HubDelta) deltaBody {
+	body := deltaBody{Pattern: d.Pattern, Seq: d.Seq, Nodes: []deltaNode{}}
+	for _, nd := range d.Nodes {
+		body.Nodes = append(body.Nodes, deltaNode{
+			Node:    nd.Node,
+			Added:   setSlice(nd.Added),
+			Removed: setSlice(nd.Removed),
+		})
+	}
+	return body
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	var batch uagpnm.HubBatch
+	if req.Data != "" {
+		b, err := updates.ParseScript(strings.NewReader(req.Data))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "data script: %v", err)
+			return
+		}
+		if len(b.P) > 0 {
+			writeError(w, http.StatusBadRequest, "data script contains pattern updates; put them under \"patterns\"")
+			return
+		}
+		batch.D = b.D
+	}
+	for rawID, script := range req.Patterns {
+		id, err := strconv.ParseUint(rawID, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad pattern id %q", rawID)
+			return
+		}
+		b, err := updates.ParseScript(strings.NewReader(script))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "pattern %s script: %v", rawID, err)
+			return
+		}
+		if len(b.D) > 0 {
+			writeError(w, http.StatusBadRequest, "pattern %s script contains data updates; put them under \"data\"", rawID)
+			return
+		}
+		if batch.P == nil {
+			batch.P = make(map[uagpnm.PatternID][]uagpnm.Update)
+		}
+		batch.P[uagpnm.PatternID(id)] = b.P
+	}
+
+	deltas, stats, err := s.hub.ApplyBatch(batch)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, uagpnm.ErrUnknownPattern) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	// Report THIS batch's seq and cost: a concurrent /apply may already
+	// have advanced Seq()/LastBatch() past them.
+	resp := applyResponse{
+		Seq:            stats.Seq,
+		Deltas:         []deltaBody{},
+		SLenSyncMillis: float64(stats.SLenSync.Microseconds()) / 1000,
+	}
+	for _, d := range deltas {
+		resp.Deltas = append(resp.Deltas, renderDelta(d))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type deltasResponse struct {
+	Seq    uint64      `json:"seq"`    // highest seq in Deltas, or the polled-from seq
+	Resync bool        `json:"resync"` // subscriber fell behind the history: refetch GET /patterns/{id}
+	Deltas []deltaBody `json:"deltas"`
+}
+
+func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	id, err := s.patternID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err = strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since %q", raw)
+			return
+		}
+	}
+	timeout := s.pollTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout %q", raw)
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	ds, resync, err := s.hub.WaitDeltas(ctx, id, since)
+	switch {
+	case errors.Is(err, uagpnm.ErrUnknownPattern):
+		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		return
+	case err != nil:
+		// Timeout or client cancellation: an empty poll, not a failure.
+		writeJSON(w, http.StatusOK, deltasResponse{Seq: since, Deltas: []deltaBody{}})
+		return
+	}
+	resp := deltasResponse{Seq: since, Resync: resync, Deltas: []deltaBody{}}
+	for _, d := range ds {
+		resp.Deltas = append(resp.Deltas, renderDelta(d))
+		if d.Seq > resp.Seq {
+			resp.Seq = d.Seq
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

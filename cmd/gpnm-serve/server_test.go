@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"uagpnm"
+)
+
+// testServer stands up the handler over the quickstart-sized graph:
+// 0:PM, 1:SE, 2:PM with 0→1.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := uagpnm.NewGraph()
+	g.AddNode("PM")
+	g.AddNode("SE")
+	g.AddNode("PM")
+	g.AddEdge(0, 1)
+	h := uagpnm.NewHub(g, uagpnm.HubOptions{Horizon: 3, Workers: 1})
+	ts := httptest.NewServer(newServer(h, 2*time.Second).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func mustJSON(t *testing.T, resp *http.Response, wantStatus int, into interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status %d (want %d): %s", resp.StatusCode, wantStatus, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func post(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	ts := testServer(t)
+
+	// Health.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK    bool `json:"ok"`
+		Nodes int  `json:"nodes"`
+	}
+	mustJSON(t, resp, http.StatusOK, &health)
+	if !health.OK || health.Nodes != 3 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// Register.
+	var reg resultBody
+	mustJSON(t, post(t, ts.URL+"/patterns", registerRequest{
+		Pattern: "node pm PM\nnode se SE\nedge pm se 2\n",
+	}), http.StatusOK, &reg)
+	if reg.ID == 0 || !reg.Total || len(reg.Nodes) != 2 {
+		t.Fatalf("register = %+v", reg)
+	}
+	if reg.Nodes[0].Name != "pm" || len(reg.Nodes[0].Matches) != 1 || reg.Nodes[0].Matches[0] != 0 {
+		t.Fatalf("initial pm result = %+v", reg.Nodes[0])
+	}
+
+	// Apply: connect the second PM; expect a delta for pattern node 0.
+	var applied applyResponse
+	mustJSON(t, post(t, ts.URL+"/apply", applyRequest{Data: "+e 2 1\n"}), http.StatusOK, &applied)
+	if applied.Seq != 1 || len(applied.Deltas) != 1 {
+		t.Fatalf("apply = %+v", applied)
+	}
+	d := applied.Deltas[0]
+	if d.Pattern != reg.ID || len(d.Nodes) != 1 || len(d.Nodes[0].Added) != 1 || d.Nodes[0].Added[0] != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+
+	// Fetch the updated result.
+	var res resultBody
+	resp, err = http.Get(fmt.Sprintf("%s/patterns/%d", ts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusOK, &res)
+	if len(res.Nodes[0].Matches) != 2 {
+		t.Fatalf("result after apply = %+v", res.Nodes[0])
+	}
+
+	// Long-poll from seq 0: the delta is already retained.
+	var polled deltasResponse
+	resp, err = http.Get(fmt.Sprintf("%s/patterns/%d/deltas?since=0&timeout=1s", ts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusOK, &polled)
+	if polled.Seq != 1 || len(polled.Deltas) != 1 {
+		t.Fatalf("poll = %+v", polled)
+	}
+
+	// Long-poll past the tip: a concurrent apply must wake it.
+	type pollOut struct {
+		body deltasResponse
+		err  error
+	}
+	ch := make(chan pollOut, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("%s/patterns/%d/deltas?since=1&timeout=5s", ts.URL, reg.ID))
+		if err != nil {
+			ch <- pollOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out deltasResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		ch <- pollOut{body: out, err: err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	mustJSON(t, post(t, ts.URL+"/apply", applyRequest{Data: "-e 2 1\n"}), http.StatusOK, &applied)
+	got := <-ch
+	if got.err != nil || len(got.body.Deltas) != 1 || len(got.body.Deltas[0].Nodes[0].Removed) != 1 {
+		t.Fatalf("long-poll woke with %+v (err %v)", got.body, got.err)
+	}
+
+	// Pattern-side update through /apply: delete the pattern edge, the
+	// second pattern node's constraint relaxes nothing but pm's does.
+	mustJSON(t, post(t, ts.URL+"/apply", applyRequest{
+		Patterns: map[string]string{fmt.Sprint(reg.ID): "-pe 0 1\n"},
+	}), http.StatusOK, &applied)
+	if len(applied.Deltas[0].Nodes) == 0 {
+		t.Fatalf("pattern relaxation produced no delta: %+v", applied)
+	}
+
+	// Unregister; subsequent fetch 404s.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/patterns/%d", ts.URL, reg.ID), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var okBody map[string]bool
+	mustJSON(t, resp, http.StatusOK, &okBody)
+	resp, err = http.Get(fmt.Sprintf("%s/patterns/%d", ts.URL, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fetch after unregister: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	ts := testServer(t)
+
+	for _, tc := range []struct {
+		name   string
+		do     func() *http.Response
+		status int
+	}{
+		{"bad pattern DSL", func() *http.Response {
+			return post(t, ts.URL+"/patterns", registerRequest{Pattern: "nope"})
+		}, http.StatusBadRequest},
+		{"empty pattern", func() *http.Response {
+			return post(t, ts.URL+"/patterns", registerRequest{Pattern: "# nothing\n"})
+		}, http.StatusBadRequest},
+		{"pattern update on data side", func() *http.Response {
+			return post(t, ts.URL+"/apply", applyRequest{Data: "+pe 0 1 2\n"})
+		}, http.StatusBadRequest},
+		{"unknown pattern in apply", func() *http.Response {
+			return post(t, ts.URL+"/apply", applyRequest{Patterns: map[string]string{"99": "-pe 0 1\n"}})
+		}, http.StatusNotFound},
+		{"unknown pattern result", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/patterns/99")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusNotFound},
+		{"bad id", func() *http.Response {
+			resp, err := http.Get(ts.URL + "/patterns/xyz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, http.StatusBadRequest},
+	} {
+		resp := tc.do()
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	// Long-poll timeout returns an empty poll, HTTP 200.
+	var reg resultBody
+	mustJSON(t, post(t, ts.URL+"/patterns", registerRequest{
+		Pattern: "node pm PM\n",
+	}), http.StatusOK, &reg)
+	start := time.Now()
+	resp, err := http.Get(fmt.Sprintf("%s/patterns/%d/deltas?since=%d&timeout=100ms", ts.URL, reg.ID, reg.Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var polled deltasResponse
+	mustJSON(t, resp, http.StatusOK, &polled)
+	if len(polled.Deltas) != 0 || time.Since(start) < 90*time.Millisecond {
+		t.Fatalf("timeout poll = %+v after %v", polled, time.Since(start))
+	}
+}

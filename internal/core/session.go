@@ -99,6 +99,15 @@ type QueryStats struct {
 	TreeRoots      int // uneliminated updates
 	Eliminated     int // |Ue| of the paper's complexity analysis
 	SeedNodes      int // seed set size of the final amendment
+	// SLenSync is the wall time of the SLen substrate synchronisation
+	// (structural application + overlay/matrix maintenance + change-log
+	// assembly); SLenSyncs counts the data updates synchronised into the
+	// substrate. Together they expose the maintenance cost the
+	// standing-query hub amortises across patterns (internal/hub): n
+	// independent sessions pay n×SLenSyncs for the same batch, a hub
+	// pays it once.
+	SLenSync  time.Duration
+	SLenSyncs int
 }
 
 // Session is one evolving GPNM query: graph, pattern, SLen engine and
@@ -146,30 +155,39 @@ func NewSessionWith(g *graph.Graph, p *pattern.Graph, eng shortest.DistanceEngin
 }
 
 func (s *Session) newEngine(g *graph.Graph) shortest.DistanceEngine {
-	if s.Method == UAGPNM {
+	return NewEngineFor(g, s.cfg)
+}
+
+// NewEngineFor builds the SLen substrate cfg.Method selects over g —
+// the label-partitioned engine (§V) for UAGPNM, the global matrix
+// engine for every other method — without answering any query. Sessions
+// use it internally; the standing-query hub (internal/hub) uses it to
+// build the one substrate its registered patterns share.
+func NewEngineFor(g *graph.Graph, cfg Config) shortest.DistanceEngine {
+	if cfg.Method == UAGPNM {
 		var opts []partition.Option
-		if s.cfg.DenseThreshold > 0 {
-			opts = append(opts, partition.WithDenseThreshold(s.cfg.DenseThreshold))
+		if cfg.DenseThreshold > 0 {
+			opts = append(opts, partition.WithDenseThreshold(cfg.DenseThreshold))
 		}
-		if s.cfg.ELLWidth > 0 {
-			opts = append(opts, partition.WithELLWidth(s.cfg.ELLWidth))
+		if cfg.ELLWidth > 0 {
+			opts = append(opts, partition.WithELLWidth(cfg.ELLWidth))
 		}
-		if s.cfg.Workers > 0 {
-			opts = append(opts, partition.WithWorkers(s.cfg.Workers))
+		if cfg.Workers > 0 {
+			opts = append(opts, partition.WithWorkers(cfg.Workers))
 		}
-		return partition.NewEngine(g, s.cfg.Horizon, opts...)
+		return partition.NewEngine(g, cfg.Horizon, opts...)
 	}
 	var opts []shortest.Option
-	if s.cfg.DenseThreshold > 0 {
-		opts = append(opts, shortest.WithDenseThreshold(s.cfg.DenseThreshold))
+	if cfg.DenseThreshold > 0 {
+		opts = append(opts, shortest.WithDenseThreshold(cfg.DenseThreshold))
 	}
-	if s.cfg.ELLWidth > 0 {
-		opts = append(opts, shortest.WithELLWidth(s.cfg.ELLWidth))
+	if cfg.ELLWidth > 0 {
+		opts = append(opts, shortest.WithELLWidth(cfg.ELLWidth))
 	}
-	if s.cfg.Workers > 0 {
-		opts = append(opts, shortest.WithWorkers(s.cfg.Workers))
+	if cfg.Workers > 0 {
+		opts = append(opts, shortest.WithWorkers(cfg.Workers))
 	}
-	return shortest.NewEngine(g, s.cfg.Horizon, opts...)
+	return shortest.NewEngine(g, cfg.Horizon, opts...)
 }
 
 // Fork returns an independent copy of the session (deep-copied graph,
@@ -196,6 +214,13 @@ func (s *Session) Result(u pattern.NodeID) nodeset.Set { return s.Match.Nodes(u)
 // returns the subsequent query's match. Batches must have been generated
 // against (or be consistent with) the session's current graph/pattern
 // state.
+//
+// The returned match is the session's live state (this is the internal
+// API; the bench harness calls it in tight loops). Callers that hand
+// results across a trust boundary take a copy — the public
+// uagpnm.Session.SQuery returns a defensive clone, per its documented
+// immutability contract. Sets materialised from a match (Nodes,
+// SimulationSet) are fresh on every call either way.
 func (s *Session) SQuery(b updates.Batch) *simulation.Match {
 	start := time.Now()
 	s.Stats = QueryStats{DataUpdates: len(b.D), PatternUpdates: len(b.P)}

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"time"
+
 	"uagpnm/internal/ehtree"
 	"uagpnm/internal/elim"
+	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/partition"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
 	"uagpnm/internal/simulation"
 	"uagpnm/internal/updates"
 )
@@ -21,7 +26,10 @@ func (s *Session) runScratch(b updates.Batch) {
 			s.Engine.EnsureHorizon(bnd)
 		}
 	}
+	slenStart := time.Now()
 	s.Engine.Build()
+	s.Stats.SLenSync = time.Since(slenStart)
+	s.Stats.SLenSyncs = len(b.D)
 	s.Match = simulation.Run(s.P, s.G, s.Engine)
 	s.Stats.Passes = 1
 }
@@ -30,7 +38,10 @@ func (s *Session) runScratch(b updates.Batch) {
 // gets its own SLen synchronisation and amendment pass.
 func (s *Session) runINC(b updates.Batch) {
 	for _, u := range b.D {
+		slenStart := time.Now()
 		aff := updates.ApplyData(u, s.G, s.Engine)
+		s.Stats.SLenSync += time.Since(slenStart)
+		s.Stats.SLenSyncs++
 		s.Match = simulation.Amend(s.Match, s.P, s.G, s.Engine, aff)
 		s.Stats.Passes++
 	}
@@ -53,6 +64,7 @@ func (s *Session) runINC(b updates.Batch) {
 // redundancy that separates EH-GPNM from UA-GPNM). Pattern updates still
 // get one pass each.
 func (s *Session) runEH(b updates.Batch) {
+	slenStart := time.Now()
 	affSets := make([]nodeset.Set, len(b.D))
 	var log nodeset.Builder
 	for i, u := range b.D {
@@ -60,6 +72,8 @@ func (s *Session) runEH(b updates.Batch) {
 		log.AddAll(affSets[i])
 	}
 	changeLog := log.Set()
+	s.Stats.SLenSync = time.Since(slenStart)
+	s.Stats.SLenSyncs = len(b.D)
 	affInfos := elim.AffSetsFromApplication(b.D, affSets)
 	tree := ehtree.Build(affInfos, nil, nil)
 	s.Stats.TreeSize = tree.Size()
@@ -105,6 +119,7 @@ func (s *Session) runUA(b updates.Batch) {
 	// Apply ΔGD, fusing DER-II with SLen maintenance (Algorithm 2's
 	// in-place SLen_new update). The partitioned engine reconciles its
 	// bridge overlay once for the whole batch (§VI's batching).
+	slenStart := time.Now()
 	var affSets []nodeset.Set
 	var changeLog nodeset.Set
 	if pe, ok := s.Engine.(*partition.Engine); ok {
@@ -118,6 +133,8 @@ func (s *Session) runUA(b updates.Batch) {
 		}
 		changeLog = log.Set()
 	}
+	s.Stats.SLenSync = time.Since(slenStart)
+	s.Stats.SLenSyncs = len(b.D)
 	affInfos := elim.AffSetsFromApplication(b.D, affSets)
 
 	// Apply ΔGP to a pattern clone; widen the horizon before DER-III asks
@@ -126,15 +143,39 @@ func (s *Session) runUA(b updates.Batch) {
 	updates.ApplyPatternBatch(b.P, newP)
 	s.ensureHorizonFor(newP)
 
-	// DER-III + EH-Tree (Fig. 3's structure, §IV-C).
-	oldMatch := s.Match
-	tree := ehtree.Build(affInfos, canInfos, func(up, ud elim.Info) bool {
-		return elim.CrossEliminates(up, ud, oldMatch, s.Engine)
-	})
-	s.Stats.TreeSize = tree.Size()
-	s.Stats.TreeRoots = len(tree.Roots)
-	s.Stats.Eliminated = tree.EliminatedCount()
+	// DER-III + EH-Tree + the single amendment pass (Fig. 3, §IV-C).
+	pass := RunUAPass(s.Match, newP, s.G, s.Engine, affInfos, canInfos, changeLog)
+	s.Stats.TreeSize = pass.TreeSize
+	s.Stats.TreeRoots = pass.TreeRoots
+	s.Stats.Eliminated = pass.Eliminated
+	s.Stats.SeedNodes = pass.SeedNodes
+	s.Match = pass.Match
+	s.P = newP
+	s.Stats.Passes = 1
+}
 
+// UAPassResult is the outcome of one pattern's RunUAPass.
+type UAPassResult struct {
+	Match      *simulation.Match
+	TreeSize   int
+	TreeRoots  int
+	Eliminated int
+	SeedNodes  int
+}
+
+// RunUAPass is the per-pattern tail of Algorithm 6, shared by runUA and
+// the standing-query hub (internal/hub): DER-III cross elimination over
+// the already-computed Can/Aff sets, the EH-Tree over both streams, and
+// one amendment pass seeded by the uneliminated root sets plus the
+// batch change log. oldMatch and canInfos are pre-batch state; newP,
+// the engine and affInfos/changeLog are post-batch. It only reads its
+// inputs (the engine within the read-epoch contract), so many patterns
+// can run their passes concurrently over one shared substrate.
+func RunUAPass(oldMatch *simulation.Match, newP *pattern.Graph, g *graph.Graph,
+	eng shortest.DistanceEngine, affInfos, canInfos []elim.Info, changeLog nodeset.Set) UAPassResult {
+	tree := ehtree.Build(affInfos, canInfos, func(up, ud elim.Info) bool {
+		return elim.CrossEliminates(up, ud, oldMatch, eng)
+	})
 	// One amendment pass for the uneliminated updates: the union of the
 	// root sets equals the union over all updates (children are covered),
 	// and the change log guarantees every combined effect is seeded.
@@ -142,8 +183,11 @@ func (s *Session) runUA(b updates.Batch) {
 	for _, root := range tree.RootInfos() {
 		seeds = seeds.Union(root.Set)
 	}
-	s.Stats.SeedNodes = seeds.Len()
-	s.Match = simulation.Amend(s.Match, newP, s.G, s.Engine, seeds)
-	s.P = newP
-	s.Stats.Passes = 1
+	return UAPassResult{
+		Match:      simulation.Amend(oldMatch, newP, g, eng, seeds),
+		TreeSize:   tree.Size(),
+		TreeRoots:  len(tree.Roots),
+		Eliminated: tree.EliminatedCount(),
+		SeedNodes:  seeds.Len(),
+	}
 }

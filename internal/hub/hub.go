@@ -1,0 +1,594 @@
+// Package hub implements the multi-pattern standing-query hub: one data
+// graph and one SLen substrate serving many registered patterns at once.
+//
+// The paper's cost analysis says SLen maintenance dominates GPNM — and
+// SLen depends only on the data graph, never on the pattern. A server
+// holding n standing patterns over one evolving graph therefore wastes
+// (n-1)/n of its maintenance budget if every pattern runs its own
+// Session: each would redo the identical substrate synchronisation per
+// batch. The hub amortises it. ApplyBatch advances the shared substrate
+// exactly once per batch — one structural application, one overlay (or
+// matrix) reconciliation, one change log — and only the per-pattern
+// work (DER detection, EH-Tree construction, the single amendment pass)
+// is repeated, fanned across the partition worker pool.
+//
+// Epoch-snapshot discipline: a batch is processed in three phases under
+// the hub's lock. Phase 1 runs per-pattern DER-I against the frozen
+// pre-batch engine state (concurrent readers). Phase 2 is the single
+// writer: it widens the horizon for incoming pattern bounds, applies
+// ΔGD and synchronises the substrate. Phase 3 fans per-pattern DER-III,
+// EH-Tree and the amendment pass across the pool, every worker reading
+// the frozen post-batch state. This is exactly the read-epoch contract
+// documented on partition.Engine; each pattern's pipeline is the fused
+// UA-GPNM pipeline of core.Session.SQuery, so a hub pattern's result
+// after every batch equals an independent session's (the differential
+// suite enforces it against Scratch sessions).
+//
+// Subscribers see changes, not result dumps: every batch yields a
+// per-pattern Delta (Added/Removed per pattern node, BGS-projected),
+// sequence-numbered for at-least-once delivery, with a bounded history
+// for long-polling (WaitDeltas) and a resync signal when a subscriber
+// falls further behind than the history reaches.
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"sync"
+
+	"uagpnm/internal/core"
+	"uagpnm/internal/elim"
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/partition"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/simulation"
+	"uagpnm/internal/updates"
+)
+
+// PatternID identifies a registered standing pattern.
+type PatternID uint64
+
+// Config parameterises a Hub.
+type Config struct {
+	// Method selects the shared substrate: UAGPNM (the default — the
+	// zero value, Scratch, is reinterpreted as UAGPNM since a hub is
+	// incremental by construction) runs the label-partitioned engine of
+	// §V; any other method runs the global SLen matrix engine. The
+	// per-pattern pipeline is the fused UA-GPNM pipeline either way;
+	// Method only picks the substrate it runs on.
+	Method core.Method
+	// Horizon caps SLen at this many hops (0 = exact distances). It is
+	// widened automatically to cover every registered pattern's largest
+	// finite bound.
+	Horizon int
+	// DenseThreshold and ELLWidth tune the substrate backends (zero
+	// values take the engine defaults).
+	DenseThreshold int
+	ELLWidth       int
+	// Workers bounds both the substrate's internal pool and the hub's
+	// per-pattern fan-out (0 = all cores, 1 = fully serial).
+	Workers int
+	// History bounds the per-pattern delta log retained for long-polling
+	// (default 256 non-empty deltas). Subscribers further behind than
+	// the log reaches receive a resync signal instead of deltas.
+	History int
+}
+
+// Batch is one epoch's worth of updates for the whole hub: a shared
+// data-side sequence ΔGD and, optionally, per-pattern ΔGP sequences.
+type Batch struct {
+	D []updates.Update               // data updates, applied once for all patterns
+	P map[PatternID][]updates.Update // pattern updates, per standing query
+}
+
+// Delta is the subscriber-visible change of one pattern's result after
+// one batch: Added/Removed per pattern node (BGS-projected; empty Nodes
+// means the batch left this pattern's result untouched), tagged with the
+// hub sequence number of the batch that produced it.
+type Delta struct {
+	Pattern PatternID
+	Seq     uint64
+	Nodes   []simulation.NodeDelta
+}
+
+// BatchStats records the shared work of the last ApplyBatch.
+type BatchStats struct {
+	Seq         uint64
+	DataUpdates int
+	Patterns    int
+	// SLenSync is the wall time of the one shared substrate
+	// synchronisation; SLenSyncs the data updates synchronised. n
+	// independent sessions would pay both n times for the same batch.
+	SLenSync  time.Duration
+	SLenSyncs int
+	// FanOut is the wall time of the per-pattern detection + amendment
+	// fan-out (phase 3); Duration the whole ApplyBatch.
+	FanOut   time.Duration
+	Duration time.Duration
+}
+
+// ErrUnknownPattern reports an id that is not (or no longer) registered.
+var ErrUnknownPattern = errors.New("hub: unknown pattern")
+
+// registration is one standing query: its evolving pattern, its current
+// match, the stats of its last per-pattern pass and its delta log.
+type registration struct {
+	id    PatternID
+	p     *pattern.Graph
+	match *simulation.Match
+	stats core.QueryStats
+
+	deltas       []Delta // most recent non-empty deltas, ascending Seq
+	trimmedBelow uint64  // deltas with Seq ≤ this were dropped from the log
+}
+
+// Hub owns one data graph and one distance engine and hosts many
+// registered patterns as standing queries. All methods are safe for
+// concurrent use (an HTTP front end calls them from many handlers); the
+// hub serialises writers internally and ApplyBatch is the only method
+// that advances the epoch.
+type Hub struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	g     *graph.Graph
+	eng   shortest.DistanceEngine
+	cfg   Config
+	regs  map[PatternID]*registration
+	order []PatternID // registration order, for deterministic iteration
+	next  PatternID
+	seq   uint64
+	last  BatchStats
+}
+
+// New builds the shared substrate over g and returns an empty hub. The
+// hub owns g afterwards.
+func New(g *graph.Graph, cfg Config) *Hub {
+	if cfg.Method == core.Scratch {
+		cfg.Method = core.UAGPNM
+	}
+	if cfg.History <= 0 {
+		cfg.History = 256
+	}
+	h := &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), next: 1}
+	h.cond = sync.NewCond(&h.mu)
+	h.eng = core.NewEngineFor(g, core.Config{
+		Method:         cfg.Method,
+		Horizon:        cfg.Horizon,
+		DenseThreshold: cfg.DenseThreshold,
+		ELLWidth:       cfg.ELLWidth,
+		Workers:        cfg.Workers,
+	})
+	h.eng.Build()
+	return h
+}
+
+// fanWorkers bounds the per-pattern fan-out.
+func (h *Hub) fanWorkers() int {
+	if h.cfg.Workers > 0 {
+		return h.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Register adds p as a standing query, answers its initial query
+// (IQuery) against the current graph state, and returns its id. The hub
+// owns p afterwards (pass a Clone to keep an independent copy). The
+// substrate horizon is widened to cover p's largest finite bound.
+//
+// p must share the data graph's label table, and building it intern-ed
+// any new labels into that shared table — an unsynchronised write when
+// the hub is already processing batches. Construct patterns before
+// concurrent hub use, or parse them under the hub's lock with
+// RegisterScript.
+func (h *Hub) Register(p *pattern.Graph) PatternID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.registerLocked(p)
+}
+
+// RegisterScript parses the textual pattern format ("node <name>
+// <label>" / "edge <from> <to> <bound>" lines) against the hub graph's
+// label table and registers the result — parsing happens under the
+// hub's lock, so label interning can never race a concurrent batch
+// (the HTTP front end's register path). Empty patterns are rejected.
+func (h *Hub) RegisterScript(r io.Reader) (PatternID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, err := pattern.Parse(r, h.g.Labels())
+	if err != nil {
+		return 0, err
+	}
+	if p.NumNodes() == 0 {
+		return 0, errors.New("hub: empty pattern")
+	}
+	return h.registerLocked(p), nil
+}
+
+func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
+	if b := p.MaxFiniteBound(); b > 0 {
+		h.eng.EnsureHorizon(b)
+	}
+	id := h.next
+	h.next++
+	r := &registration{
+		id:           id,
+		p:            p,
+		match:        simulation.Run(p, h.g, h.eng),
+		trimmedBelow: h.seq, // nothing to long-poll before registration
+	}
+	h.regs[id] = r
+	h.order = append(h.order, id)
+	return id
+}
+
+// Unregister removes a standing query, waking any long-pollers on it
+// (they observe ErrUnknownPattern). It reports whether id was
+// registered.
+func (h *Hub) Unregister(id PatternID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.regs[id]; !ok {
+		return false
+	}
+	delete(h.regs, id)
+	for i, o := range h.order {
+		if o == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.cond.Broadcast()
+	return true
+}
+
+// Patterns returns the registered ids in registration order.
+func (h *Hub) Patterns() []PatternID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PatternID(nil), h.order...)
+}
+
+// Seq returns the hub's batch sequence number (0 before any batch).
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Graph returns the hub's (evolving) data graph. Treat it as read-only
+// while the hub is live — every structural change must flow through
+// ApplyBatch or the substrate diverges — and do not read it
+// concurrently with ApplyBatch (use GraphStats for a synchronised
+// summary).
+func (h *Hub) Graph() *graph.Graph { return h.g }
+
+// GraphStats summarises the data graph under the hub's lock — the
+// race-free way for a front end to report graph size while batches are
+// being applied.
+func (h *Hub) GraphStats() graph.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.g.ComputeStats()
+}
+
+// LastBatch reports the shared work of the most recent ApplyBatch.
+func (h *Hub) LastBatch() BatchStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// Match returns a defensive deep copy of pattern id's current match
+// (nil, false when id is unknown). Like Session.SQuery's return, the
+// copy is the caller's to keep and stays frozen as batches proceed.
+func (h *Hub) Match(id PatternID) (*simulation.Match, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.regs[id]
+	if !ok {
+		return nil, false
+	}
+	return r.match.Clone(r.p), true
+}
+
+// Result returns the GPNM node matching result Npi for pattern node u
+// of standing query id — freshly materialised, never aliasing hub state.
+func (h *Hub) Result(id PatternID, u pattern.NodeID) nodeset.Set {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.regs[id]
+	if !ok {
+		return nil
+	}
+	return r.match.Nodes(u)
+}
+
+// PatternGraph returns a defensive clone of standing query id's current
+// pattern graph (nil, false when id is unknown) — front ends use it to
+// render results with node names after ΔGP batches evolved the pattern.
+func (h *Hub) PatternGraph(id PatternID) (*pattern.Graph, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.regs[id]
+	if !ok {
+		return nil, false
+	}
+	return r.p.Clone(), true
+}
+
+// Snapshot returns a mutually consistent view of one standing query —
+// pattern, match (both defensive clones) and the hub sequence they
+// correspond to — taken under one lock acquisition, so a batch landing
+// between calls can never pair a stale match with a newer pattern or
+// sequence number.
+func (h *Hub) Snapshot(id PatternID) (p *pattern.Graph, m *simulation.Match, seq uint64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.regs[id]
+	if !ok {
+		return nil, nil, 0, false
+	}
+	p = r.p.Clone()
+	return p, r.match.Clone(p), h.seq, true
+}
+
+// PatternStats reports the per-pattern pass statistics of id's last
+// amendment (zero before the first batch after registration).
+func (h *Hub) PatternStats(id PatternID) (core.QueryStats, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.regs[id]
+	if !ok {
+		return core.QueryStats{}, false
+	}
+	return r.stats, true
+}
+
+// ApplyBatch processes one update batch for every standing query and
+// returns one Delta per registered pattern, in registration order
+// (possibly with empty Nodes), together with this batch's shared-work
+// stats (returned rather than re-read so concurrent callers never see
+// another batch's numbers). The shared SLen synchronisation and
+// change-log construction run once; only per-pattern detection and
+// amendment fan out. It errors without touching anything when the
+// batch references an unknown pattern, puts an update on the wrong
+// side, or carries a node insert with a mispredicted id.
+func (h *Hub) ApplyBatch(b Batch) ([]Delta, BatchStats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := time.Now()
+
+	// Validate fully before touching anything: the appliers panic on
+	// malformed batches (wrong-side updates, mispredicted node-insert
+	// ids), and a panic mid-batch — worse, inside a pooled worker —
+	// would leave the hub's substrate half-advanced. Node ids are
+	// assigned sequentially and never reused, so an insert's id must be
+	// the graph's next id offset by the inserts before it in the batch.
+	nextData := uint32(h.g.NumIDs())
+	for _, u := range b.D {
+		if !u.Kind.IsData() {
+			return nil, BatchStats{}, fmt.Errorf("hub: pattern update %v on the data side", u)
+		}
+		if u.Kind == updates.DataNodeInsert {
+			if u.Node != nextData {
+				return nil, BatchStats{}, fmt.Errorf("hub: data node insert id %d, next assignable id is %d", u.Node, nextData)
+			}
+			nextData++
+		}
+	}
+	maxBound := 0
+	for pid, ups := range b.P {
+		r, ok := h.regs[pid]
+		if !ok {
+			return nil, BatchStats{}, fmt.Errorf("%w: %d", ErrUnknownPattern, pid)
+		}
+		nextPat := pattern.NodeID(r.p.NumIDs())
+		for _, u := range ups {
+			if u.Kind.IsData() {
+				return nil, BatchStats{}, fmt.Errorf("hub: data update %v on the pattern side", u)
+			}
+			if u.Kind == updates.PatternNodeInsert {
+				if pattern.NodeID(u.Node) != nextPat {
+					return nil, BatchStats{}, fmt.Errorf("hub: pattern %d node insert id %d, next assignable id is %d", pid, u.Node, nextPat)
+				}
+				nextPat++
+			}
+			if u.Kind == updates.PatternEdgeInsert && !u.Bound.IsStar() && int(u.Bound) > maxBound {
+				maxBound = int(u.Bound)
+			}
+		}
+	}
+	// Pre-intern every label the batch can introduce, while still
+	// single-threaded: phase 3 applies ΔGP on worker goroutines, and
+	// pattern.AddNode interns into the label table shared by the data
+	// graph and every pattern — concurrent interning of an unseen label
+	// would be an unsynchronised map write. After this loop the workers'
+	// Intern calls all take the read-only fast path.
+	for _, ups := range b.P {
+		for _, u := range ups {
+			if u.Kind == updates.PatternNodeInsert {
+				for _, l := range u.Labels {
+					h.g.Labels().Intern(l)
+				}
+			}
+		}
+	}
+
+	regs := make([]*registration, len(h.order))
+	for i, id := range h.order {
+		regs[i] = h.regs[id]
+	}
+
+	// Single writer: widen the horizon before any concurrent phase asks
+	// about incoming bounds (EnsureHorizon rebuilds substrate state).
+	if maxBound > 0 {
+		h.eng.EnsureHorizon(maxBound)
+	}
+
+	// Phase 1 — DER-I per pattern against the frozen pre-batch epoch.
+	// Skipped outright for data-only batches (the common case): nil
+	// canInfos entries are what RunUAPass expects then.
+	workers := h.fanWorkers()
+	canInfos := make([][]elim.Info, len(regs))
+	if len(b.P) > 0 {
+		partition.ForEach(workers, len(regs), func(i int) {
+			r := regs[i]
+			if ups := b.P[r.id]; len(ups) > 0 {
+				canInfos[i] = elim.CanSets(ups, r.match, r.p, h.g, h.eng)
+			}
+		})
+	}
+
+	// Phase 2 — the single writer advances the epoch: one structural
+	// application, one substrate reconciliation, one change log —
+	// regardless of how many patterns are standing.
+	slenStart := time.Now()
+	var affSets []nodeset.Set
+	var changeLog nodeset.Set
+	if pe, ok := h.eng.(*partition.Engine); ok {
+		affSets, changeLog = pe.ApplyDataBatch(b.D, h.g)
+	} else {
+		affSets = make([]nodeset.Set, len(b.D))
+		var log nodeset.Builder
+		for i, u := range b.D {
+			affSets[i] = updates.ApplyData(u, h.g, h.eng)
+			log.AddAll(affSets[i])
+		}
+		changeLog = log.Set()
+	}
+	slen := time.Since(slenStart)
+
+	// Phase 3 — per-pattern DER-III + EH-Tree + one amendment pass,
+	// fanned across the worker pool; every worker reads the frozen
+	// post-batch epoch and writes only its own registration.
+	fanStart := time.Now()
+	seq := h.seq + 1
+	deltas := make([]Delta, len(regs))
+	// The Aff infos are batch-constant (ehtree.Build copies what it
+	// keeps), so every pattern's pass shares one slice.
+	affInfos := elim.AffSetsFromApplication(b.D, affSets)
+	partition.ForEach(workers, len(regs), func(i int) {
+		r := regs[i]
+		ups := b.P[r.id]
+		passStart := time.Now()
+
+		newP := r.p
+		if len(ups) > 0 {
+			newP = r.p.Clone()
+			updates.ApplyPatternBatch(ups, newP)
+		}
+
+		oldMatch := r.match
+		pass := core.RunUAPass(oldMatch, newP, h.g, h.eng, affInfos, canInfos[i], changeLog)
+
+		deltas[i] = Delta{Pattern: r.id, Seq: seq, Nodes: simulation.Delta(oldMatch, pass.Match)}
+		r.stats = core.QueryStats{
+			Duration:       time.Since(passStart),
+			Passes:         1,
+			DataUpdates:    len(b.D),
+			PatternUpdates: len(ups),
+			TreeSize:       pass.TreeSize,
+			TreeRoots:      pass.TreeRoots,
+			Eliminated:     pass.Eliminated,
+			SeedNodes:      pass.SeedNodes,
+		}
+		r.p, r.match = newP, pass.Match
+	})
+
+	h.seq = seq
+	for i, r := range regs {
+		r.appendDelta(deltas[i], h.cfg.History)
+	}
+	h.last = BatchStats{
+		Seq:         seq,
+		DataUpdates: len(b.D),
+		Patterns:    len(regs),
+		SLenSync:    slen,
+		SLenSyncs:   len(b.D),
+		FanOut:      time.Since(fanStart),
+		Duration:    time.Since(start),
+	}
+	h.cond.Broadcast()
+	return deltas, h.last, nil
+}
+
+// cloneDelta deep-copies a delta's node sets. Deltas cross the hub
+// boundary twice — returned from ApplyBatch and served from the poll
+// history — and the defensive-copy contract holds on both: neither copy
+// shares backing storage with the other or with hub state.
+func cloneDelta(d Delta) Delta {
+	if len(d.Nodes) == 0 {
+		return d
+	}
+	nodes := make([]simulation.NodeDelta, len(d.Nodes))
+	for i, nd := range d.Nodes {
+		nodes[i] = simulation.NodeDelta{
+			Node:    nd.Node,
+			Added:   nd.Added.Clone(),
+			Removed: nd.Removed.Clone(),
+		}
+	}
+	d.Nodes = nodes
+	return d
+}
+
+// appendDelta records a non-empty delta in the bounded log (as a private
+// copy — the original is returned to ApplyBatch's caller).
+func (r *registration) appendDelta(d Delta, history int) {
+	if len(d.Nodes) == 0 {
+		return // no-change batches are not subscriber events
+	}
+	r.deltas = append(r.deltas, cloneDelta(d))
+	if over := len(r.deltas) - history; over > 0 {
+		r.trimmedBelow = r.deltas[over-1].Seq
+		r.deltas = append(r.deltas[:0], r.deltas[over:]...)
+	}
+}
+
+// WaitDeltas long-polls pattern id: it blocks until at least one delta
+// with Seq > since exists, then returns every retained one in ascending
+// Seq order. resync reports that the subscriber is further behind than
+// the bounded history reaches (or predates registration) and must fetch
+// the full result instead. It unblocks with ctx's error on timeout or
+// cancellation, and with ErrUnknownPattern when the query is (or
+// becomes) unregistered.
+func (h *Hub) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []Delta, resync bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer stop()
+	for {
+		r, ok := h.regs[id]
+		if !ok {
+			return nil, false, ErrUnknownPattern
+		}
+		if since < r.trimmedBelow {
+			return nil, true, nil
+		}
+		i := sort.Search(len(r.deltas), func(i int) bool { return r.deltas[i].Seq > since })
+		if i < len(r.deltas) {
+			out := make([]Delta, len(r.deltas)-i)
+			for j, d := range r.deltas[i:] {
+				out[j] = cloneDelta(d)
+			}
+			return out, false, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		h.cond.Wait()
+	}
+}

@@ -92,6 +92,27 @@ func (b *Bits) AddSet(s Set) {
 	}
 }
 
+// DiffSet materialises the ids set in b but absent from o as a sorted
+// Set. A nil o (or receiver) counts as empty, so DiffSet doubles as Set
+// against a missing baseline — the match-delta extraction's primitive.
+func (b *Bits) DiffSet(o *Bits) Set {
+	if b == nil || b.n == 0 {
+		return nil
+	}
+	var out Set
+	for wi, w := range b.words {
+		if o != nil && wi < len(o.words) {
+			w &^= o.words[wi]
+		}
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, ID(wi*64+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
 // Set materialises the bitset as a sorted Set.
 func (b *Bits) Set() Set {
 	if b.n == 0 {

@@ -25,14 +25,25 @@ import (
 // touches one partition engine (and the overlay only when bridge-node
 // distances move); a cross edge touches only the overlay.
 //
-// Concurrency contract: the public API is single-goroutine like every
-// other DistanceEngine — callers never invoke methods concurrently. The
-// engine itself fans embarrassingly parallel phases (per-partition intra
-// builds, per-source overlay Dijkstras, per-update affected balls,
-// stitched-row prefetch) across a bounded worker pool sized by
-// WithWorkers; every parallel phase only reads shared structures and
-// keeps its mutable state in pooled per-worker scratch, with results
-// installed from a single goroutine.
+// Concurrency contract: mutations are single-goroutine like every other
+// DistanceEngine — callers never invoke two mutating methods (Build,
+// Insert*/Delete*, ApplyDataBatch, EnsureHorizon) concurrently, nor a
+// mutation concurrently with anything else. The engine itself fans
+// embarrassingly parallel phases (per-partition intra builds, per-source
+// overlay Dijkstras, per-update affected balls, stitched-row prefetch)
+// across a bounded worker pool sized by WithWorkers; every parallel
+// phase only reads shared structures and keeps its mutable state in
+// pooled per-worker scratch, with results installed from a single
+// goroutine.
+//
+// Read epochs: between mutations the query side (Dist, WithinHops,
+// Reachable, Forward/ReverseBall, Preview*) is safe for any number of
+// concurrent goroutines — queries read structures that are immutable
+// until the next mutation, per-query scratch is pooled, and the lazy
+// row-cache fill is serialised internally (cacheMu). The standing-query
+// hub (internal/hub) leans on exactly this: one writer advances the
+// engine per batch, then many per-pattern readers amend against the
+// frozen post-batch state.
 //
 // Engine implements shortest.DistanceEngine; affected sets are the
 // conservative ball supersets documented on each method.
@@ -56,14 +67,24 @@ type Engine struct {
 	// would be on a materialised global SLen, while maintenance keeps
 	// the partition-local cost profile. ApplyDataBatch pre-warms the
 	// rows the next amendment is known to query (in parallel).
+	//
+	// cacheMu makes the lazy cache fill safe under the read-epoch
+	// discipline (see the concurrency contract above): row *building* is
+	// a pure read of shared structures, so concurrent misses may build
+	// the same row twice, but the map itself is only touched under the
+	// lock. Every other query path reads immutable-between-mutations
+	// state and needs no guard.
+	cacheMu  sync.Mutex
 	fwdCache map[uint32][]ballEntry
 	revCache map[uint32][]ballEntry
 }
 
 // invalidate drops the materialised row caches after any mutation.
 func (e *Engine) invalidate() {
+	e.cacheMu.Lock()
 	e.fwdCache = nil
 	e.revCache = nil
+	e.cacheMu.Unlock()
 }
 
 // Option configures the partition engine.
@@ -255,7 +276,11 @@ func (e *Engine) ReverseBall(y uint32, k int, fn func(s uint32, d shortest.Dist)
 }
 
 // cachedBall serves a ball query from the materialised row cache,
-// building the full-horizon stitched row on a miss.
+// building the full-horizon stitched row on a miss. Map lookups and
+// installs happen under cacheMu so concurrent readers of one frozen
+// engine state stay safe; the row build itself is a pure read and runs
+// unlocked (two goroutines missing on the same source build identical
+// rows, and the second install is a no-op overwrite).
 func (e *Engine) cachedBall(x uint32, k int, reverse bool, fn func(v uint32, d shortest.Dist) bool) {
 	if k < 0 || !e.oracleAlive(x) {
 		return
@@ -264,13 +289,17 @@ func (e *Engine) cachedBall(x uint32, k int, reverse bool, fn func(v uint32, d s
 	if reverse {
 		cache = &e.revCache
 	}
-	if *cache == nil {
-		*cache = make(map[uint32][]ballEntry)
-	}
+	e.cacheMu.Lock()
 	row, ok := (*cache)[x]
+	e.cacheMu.Unlock()
 	if !ok {
 		row = e.buildRow(x, reverse)
+		e.cacheMu.Lock()
+		if *cache == nil {
+			*cache = make(map[uint32][]ballEntry)
+		}
 		(*cache)[x] = row
+		e.cacheMu.Unlock()
 	}
 	for _, en := range row {
 		if int(en.d) <= k {
@@ -334,12 +363,14 @@ func (e *Engine) prefetchRows(ids nodeset.Set) {
 	parallelFor(e.workers, n, func(i int) {
 		rows[i] = e.buildRow(live[i], true)
 	})
+	e.cacheMu.Lock()
 	if e.revCache == nil {
 		e.revCache = make(map[uint32][]ballEntry, n)
 	}
 	for i, x := range live {
 		e.revCache[x] = rows[i]
 	}
+	e.cacheMu.Unlock()
 }
 
 // ballScratch is epoch-stamped scratch for stitched ball queries:

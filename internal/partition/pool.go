@@ -14,6 +14,14 @@ import (
 // ranges: per-item cost varies wildly here (partition sizes are
 // heavy-tailed, Dijkstra frontiers differ per source), and dynamic
 // claiming keeps the stragglers from serialising the tail.
+// ForEach is the exported face of the worker pool: it runs fn(i) for
+// every i in [0,n) across at most workers goroutines (workers ≤ 1 =
+// serial). Higher layers — the standing-query hub's per-pattern fan-out
+// in particular — reuse it so the whole system runs on one pool
+// discipline: dynamic claiming over an atomic counter, no goroutines
+// when serial. fn must be safe to call concurrently for distinct i.
+func ForEach(workers, n int, fn func(i int)) { parallelFor(workers, n, fn) }
+
 func parallelFor(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return

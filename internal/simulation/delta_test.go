@@ -1,0 +1,112 @@
+package simulation
+
+import (
+	"testing"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shortest"
+)
+
+func buildDeltaFixture() (*graph.Graph, *pattern.Graph, shortest.DistanceEngine) {
+	g := graph.New(nil)
+	g.AddNode("A") // 0
+	g.AddNode("B") // 1
+	g.AddNode("A") // 2
+	g.AddEdge(0, 1)
+	p := pattern.New(g.Labels())
+	u0 := p.AddNode("A")
+	u1 := p.AddNode("B")
+	p.AddEdge(u0, u1, 1)
+	e := shortest.NewEngine(g, 3)
+	e.Build()
+	return g, p, e
+}
+
+func TestDeltaAddedRemoved(t *testing.T) {
+	g, p, e := buildDeltaFixture()
+	before := Run(p, g, e)
+
+	g.AddEdge(2, 1)
+	aff := e.InsertEdge(2, 1)
+	after := Amend(before, p, g, e, aff)
+
+	ds := Delta(before, after)
+	if len(ds) != 1 || ds[0].Node != 0 ||
+		!ds[0].Added.Equal(nodeset.New(2)) || len(ds[0].Removed) != 0 {
+		t.Fatalf("Delta = %v, want [u0 +{2}]", ds)
+	}
+	if s := ds[0].String(); s != "u0 +{2}" {
+		t.Fatalf("String() = %q", s)
+	}
+
+	// Reverse direction: deleting the edge removes the match again.
+	g.RemoveEdge(2, 1)
+	aff = e.DeleteEdge(2, 1)
+	reverted := Amend(after, p, g, e, aff)
+	ds = Delta(after, reverted)
+	if len(ds) != 1 || !ds[0].Removed.Equal(nodeset.New(2)) || len(ds[0].Added) != 0 {
+		t.Fatalf("Delta = %v, want [u0 -{2}]", ds)
+	}
+
+	// No change at all → empty delta.
+	if ds := Delta(after, after); len(ds) != 0 {
+		t.Fatalf("self delta = %v, want empty", ds)
+	}
+}
+
+// TestDeltaProjection: crossing the total/non-total boundary reports the
+// whole visible result as removed (and back as added), per §III-B's BGS
+// projection.
+func TestDeltaProjection(t *testing.T) {
+	g, p, e := buildDeltaFixture()
+	total := Run(p, g, e)
+
+	// Deleting the only edge empties u0's image: the match is no longer
+	// total, so the projected result collapses to ∅ everywhere.
+	g.RemoveEdge(0, 1)
+	aff := e.DeleteEdge(0, 1)
+	empty := Amend(total, p, g, e, aff)
+	ds := Delta(total, empty)
+	if len(ds) != 2 {
+		t.Fatalf("Delta across totality = %v, want removals for u0 and u1", ds)
+	}
+	if !ds[0].Removed.Equal(nodeset.New(0)) || !ds[1].Removed.Equal(nodeset.New(1)) {
+		t.Fatalf("Delta = %v, want u0 -{0}, u1 -{1}", ds)
+	}
+	back := Delta(empty, total)
+	if len(back) != 2 || !back[0].Added.Equal(nodeset.New(0)) || !back[1].Added.Equal(nodeset.New(1)) {
+		t.Fatalf("reverse Delta = %v, want additions", back)
+	}
+}
+
+func TestBitsDiffSet(t *testing.T) {
+	a := nodeset.NewBits(128)
+	b := nodeset.NewBits(128)
+	for _, id := range []uint32{1, 64, 65, 100} {
+		a.Add(id)
+	}
+	for _, id := range []uint32{64, 100, 127} {
+		b.Add(id)
+	}
+	if got := a.DiffSet(b); !got.Equal(nodeset.New(1, 65)) {
+		t.Fatalf("a\\b = %v", got)
+	}
+	if got := b.DiffSet(a); !got.Equal(nodeset.New(127)) {
+		t.Fatalf("b\\a = %v", got)
+	}
+	if got := a.DiffSet(nil); !got.Equal(nodeset.New(1, 64, 65, 100)) {
+		t.Fatalf("a\\nil = %v", got)
+	}
+	var nilBits *nodeset.Bits
+	if got := nilBits.DiffSet(a); got != nil {
+		t.Fatalf("nil\\a = %v", got)
+	}
+	// Capacity mismatch: ids beyond o's words are kept.
+	small := nodeset.NewBits(8)
+	small.Add(1)
+	if got := a.DiffSet(small); !got.Equal(nodeset.New(64, 65, 100)) {
+		t.Fatalf("a\\small = %v", got)
+	}
+}

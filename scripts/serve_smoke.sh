@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/gpnm-serve: start the server on a tiny known graph,
+# register a pattern, apply an update batch, and assert the delta comes
+# back over HTTP. Needs only curl + grep; CI runs it after the unit
+# suite (`make smoke` locally).
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# Graph: 0:PM -> 1:SE and 0:PM -> 2:PM; node 2 has no outgoing edges, so
+# it fails the pattern below until an update connects it. File ids are
+# densely remapped in order of first appearance, so they survive the
+# round trip unchanged.
+cat > "$DIR/g.txt" <<'EOF'
+0	1
+0	2
+EOF
+cat > "$DIR/g.labels" <<'EOF'
+0 PM
+1 SE
+2 PM
+EOF
+
+go build -o "$DIR/gpnm-serve" ./cmd/gpnm-serve
+"$DIR/gpnm-serve" -addr "127.0.0.1:${PORT}" -graph "$DIR/g.txt" -labels "$DIR/g.labels" -horizon 3 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "smoke: server died before becoming healthy" >&2; exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" | grep -q '"ok":true' || { echo "smoke: healthz failed" >&2; exit 1; }
+
+# Register a PM-within-2-of-SE pattern; initially only node 0 matches.
+REG=$(curl -sf -X POST "$BASE/patterns" \
+  -d '{"pattern":"node pm PM\nnode se SE\nedge pm se 2\n"}')
+echo "register: $REG"
+ID=$(echo "$REG" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$ID" ] || { echo "smoke: no pattern id in $REG" >&2; exit 1; }
+echo "$REG" | grep -q '"matches":\[0\]' || { echo "smoke: unexpected initial result" >&2; exit 1; }
+
+# Apply: connect the second PM (node 2) to the SE; its id must show up
+# as an addition for pattern node 0.
+DELTA=$(curl -sf -X POST "$BASE/apply" -d '{"data":"+e 2 1\n"}')
+echo "apply: $DELTA"
+echo "$DELTA" | grep -q '"added":\[2\]' || { echo "smoke: delta missed the new match" >&2; exit 1; }
+
+# The long-poll path returns the same retained delta for a subscriber at
+# sequence 0.
+POLL=$(curl -sf "$BASE/patterns/$ID/deltas?since=0&timeout=2s")
+echo "poll: $POLL"
+echo "$POLL" | grep -q '"added":\[2\]' || { echo "smoke: long-poll missed the delta" >&2; exit 1; }
+
+# Full result now lists both PMs.
+RES=$(curl -sf "$BASE/patterns/$ID")
+echo "$RES" | grep -q '"matches":\[0,2\]' || { echo "smoke: final result wrong: $RES" >&2; exit 1; }
+
+echo "smoke: OK"

@@ -34,11 +34,13 @@
 package uagpnm
 
 import (
+	"context"
 	"io"
 
 	"uagpnm/internal/core"
 	"uagpnm/internal/datasets"
 	"uagpnm/internal/graph"
+	"uagpnm/internal/hub"
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/patgen"
 	"uagpnm/internal/pattern"
@@ -157,15 +159,21 @@ func NewSession(g *Graph, p *Pattern, opts Options) *Session {
 	})}
 }
 
-// SQuery processes one update batch and returns the new match.
-func (s *Session) SQuery(b Batch) *Match { return s.inner.SQuery(b) }
+// SQuery processes one update batch and returns the new match. The
+// returned match is a defensive deep copy — the caller's to keep,
+// mutate or compare, frozen at this query's result no matter how many
+// further batches the session processes.
+func (s *Session) SQuery(b Batch) *Match { return s.inner.SQuery(b).Clone(s.inner.P) }
 
 // Result returns the node matching result Npi for pattern node u; empty
-// unless every pattern node has a match (BGS semantics).
+// unless every pattern node has a match (BGS semantics). The set is
+// freshly materialised on every call and never aliases session state —
+// callers may sort, slice or overwrite it freely.
 func (s *Session) Result(u PatternNodeID) NodeSet { return s.inner.Result(u) }
 
-// Matches returns the full current match.
-func (s *Session) Matches() *Match { return s.inner.Match }
+// Matches returns a defensive deep copy of the full current match (see
+// SQuery).
+func (s *Session) Matches() *Match { return s.inner.Match.Clone(s.inner.P) }
 
 // Graph returns the session's (evolving) data graph.
 func (s *Session) Graph() *Graph { return s.inner.G }
@@ -242,6 +250,144 @@ type SocialGraphConfig = datasets.SocialConfig
 // with heavy-tailed degrees — the stand-in for the paper's SNAP datasets.
 func GenerateSocialGraph(cfg SocialGraphConfig) *Graph {
 	return datasets.GenerateSocial(cfg)
+}
+
+// Standing-query hub — one SLen substrate serving many patterns.
+
+// PatternID identifies a pattern registered with a Hub.
+type PatternID = hub.PatternID
+
+// HubBatch is one epoch's worth of updates for a whole Hub: a shared
+// data-side sequence plus optional per-pattern ΔGP sequences.
+type HubBatch = hub.Batch
+
+// HubDelta is the change of one registered pattern's result after one
+// batch: Added/Removed per pattern node, tagged with the hub sequence
+// number (see Hub.ApplyBatch and Hub.WaitDeltas).
+type HubDelta = hub.Delta
+
+// NodeDelta is one pattern node's Added/Removed sets within a HubDelta.
+type NodeDelta = simulation.NodeDelta
+
+// HubBatchStats records the shared (once-per-batch) work of the last
+// Hub.ApplyBatch — the SLen synchronisation n independent sessions
+// would each repeat.
+type HubBatchStats = hub.BatchStats
+
+// ErrUnknownPattern reports a Hub pattern id that is not (or no longer)
+// registered.
+var ErrUnknownPattern = hub.ErrUnknownPattern
+
+// HubOptions configures a Hub.
+type HubOptions struct {
+	// Method selects the shared substrate (default UAGPNM, the
+	// label-partitioned engine; any other method selects the global SLen
+	// matrix). Every registered pattern is processed with the fused
+	// UA-GPNM pipeline regardless.
+	Method Method
+	// Horizon caps SLen at this many hops (0 = exact); it is widened
+	// automatically to cover every registered pattern's largest finite
+	// bound.
+	Horizon int
+	// Workers bounds the substrate pool and the per-pattern fan-out
+	// (0 = all cores, 1 = fully serial).
+	Workers int
+	// History bounds the per-pattern delta log retained for long-polling
+	// (default 256).
+	History int
+}
+
+// Hub hosts many registered patterns as standing queries over one data
+// graph and one shared SLen substrate: each update batch pays the
+// substrate synchronisation once, then amends every pattern's result in
+// parallel. Unlike Session, a Hub is safe for concurrent use. See
+// internal/hub for the phase/epoch discipline.
+type Hub struct {
+	inner *hub.Hub
+}
+
+// NewHub builds the shared substrate for g and returns an empty hub.
+// The hub owns g afterwards.
+func NewHub(g *Graph, opts HubOptions) *Hub {
+	return &Hub{inner: hub.New(g, hub.Config{
+		Method:  opts.Method,
+		Horizon: opts.Horizon,
+		Workers: opts.Workers,
+		History: opts.History,
+	})}
+}
+
+// Register adds p as a standing query, answers its initial query, and
+// returns its id. The hub owns p afterwards. Build p before using the
+// hub concurrently (its construction interns labels into the shared
+// table); front ends registering patterns while batches fly should use
+// RegisterScript, which parses under the hub's lock.
+func (h *Hub) Register(p *Pattern) PatternID { return h.inner.Register(p) }
+
+// RegisterScript parses a pattern in the textual format against the hub
+// graph's label table — atomically with respect to concurrent batches —
+// and registers it.
+func (h *Hub) RegisterScript(r io.Reader) (PatternID, error) { return h.inner.RegisterScript(r) }
+
+// Unregister removes a standing query, reporting whether it existed.
+func (h *Hub) Unregister(id PatternID) bool { return h.inner.Unregister(id) }
+
+// Patterns lists the registered ids in registration order.
+func (h *Hub) Patterns() []PatternID { return h.inner.Patterns() }
+
+// ApplyBatch processes one update batch for every standing query — the
+// shared SLen work once, the per-pattern amendments fanned in parallel —
+// and returns one delta per pattern in registration order, plus this
+// batch's own shared-work stats (use these rather than LastBatch when
+// other goroutines may be applying batches concurrently).
+func (h *Hub) ApplyBatch(b HubBatch) ([]HubDelta, HubBatchStats, error) {
+	return h.inner.ApplyBatch(b)
+}
+
+// Result returns the node matching result Npi of pattern node u within
+// standing query id (freshly materialised; empty unless the pattern's
+// match is total).
+func (h *Hub) Result(id PatternID, u PatternNodeID) NodeSet { return h.inner.Result(id, u) }
+
+// Match returns a defensive deep copy of standing query id's current
+// match.
+func (h *Hub) Match(id PatternID) (*Match, bool) { return h.inner.Match(id) }
+
+// PatternGraph returns a defensive clone of standing query id's current
+// pattern graph.
+func (h *Hub) PatternGraph(id PatternID) (*Pattern, bool) { return h.inner.PatternGraph(id) }
+
+// Snapshot returns a mutually consistent (pattern, match, sequence)
+// view of one standing query, taken under a single hub lock
+// acquisition; both graphs are defensive clones.
+func (h *Hub) Snapshot(id PatternID) (p *Pattern, m *Match, seq uint64, ok bool) {
+	return h.inner.Snapshot(id)
+}
+
+// GraphStats summarises the hub's data graph race-free (Graph() itself
+// must not be read concurrently with ApplyBatch).
+func (h *Hub) GraphStats() graph.Stats { return h.inner.GraphStats() }
+
+// Seq returns the hub's batch sequence number (0 before any batch).
+func (h *Hub) Seq() uint64 { return h.inner.Seq() }
+
+// Graph returns the hub's (evolving) data graph; treat it as read-only
+// while the hub is live.
+func (h *Hub) Graph() *Graph { return h.inner.Graph() }
+
+// LastBatch reports the shared work of the most recent ApplyBatch.
+func (h *Hub) LastBatch() HubBatchStats { return h.inner.LastBatch() }
+
+// Stats reports the per-pattern pass statistics of id's last amendment.
+func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.PatternStats(id) }
+
+// WaitDeltas long-polls standing query id for deltas with Seq > since:
+// it blocks until one exists (returning all retained ones in order),
+// ctx expires, or the pattern is unregistered. resync = true means the
+// subscriber is further behind than the delta history reaches and must
+// refetch the full result.
+func (h *Hub) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []HubDelta, resync bool, err error) {
+	return h.inner.WaitDeltas(ctx, id, since)
 }
 
 // PatternConfig parameterises random pattern generation.

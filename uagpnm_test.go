@@ -140,6 +140,104 @@ func TestGenerateHelpers(t *testing.T) {
 	}
 }
 
+// TestResultImmutability is the aliasing regression: results handed out
+// by a session are defensive copies, so scribbling over them (or holding
+// them across batches) can never corrupt the session's own match state.
+func TestResultImmutability(t *testing.T) {
+	g := NewGraph()
+	alice := g.AddNode("PM")
+	bob := g.AddNode("SE")
+	carol := g.AddNode("PM")
+	g.AddEdge(alice, bob)
+
+	p := NewPattern(g)
+	pm := p.AddNode("PM")
+	se := p.AddNode("SE")
+	p.AddEdge(pm, se, 2)
+
+	s := NewSession(g, p, Options{Method: UAGPNM})
+
+	// Mutate the returned result set in place …
+	res := s.Result(pm)
+	for i := range res {
+		res[i] = 4242
+	}
+	// … and the returned match snapshot.
+	m1 := s.Matches()
+	sim := m1.SimulationSet(pm)
+	for i := range sim {
+		sim[i] = 4242
+	}
+	// Re-query: the session must be unharmed.
+	if got := s.Result(pm); got.Len() != 1 || !got.Contains(alice) {
+		t.Fatalf("Result after external mutation = %v, want {alice}", got)
+	}
+
+	// A match returned by SQuery stays frozen across later batches.
+	first := s.SQuery(Batch{D: []Update{InsertEdge(carol, bob)}})
+	if got := first.SimulationSet(pm).Clone(); !got.Equal(s.Result(pm)) {
+		t.Fatalf("SQuery snapshot %v differs from live result %v", got, s.Result(pm))
+	}
+	s.SQuery(Batch{D: []Update{DeleteEdge(carol, bob)}})
+	if got := first.SimulationSet(pm); !got.Contains(carol) {
+		t.Fatalf("held SQuery result mutated by a later batch: %v", got)
+	}
+	if got := s.Result(pm); got.Contains(carol) {
+		t.Fatalf("live result kept deleted match: %v", got)
+	}
+}
+
+// TestHubPublicAPI drives the standing-query hub through the public
+// surface: register two patterns, apply one shared batch, read deltas.
+func TestHubPublicAPI(t *testing.T) {
+	g := NewGraph()
+	alice := g.AddNode("PM")
+	bob := g.AddNode("SE")
+	dana := g.AddNode("TE")
+	g.AddEdge(alice, bob)
+
+	mk := func() *Pattern {
+		p := NewPattern(g)
+		pm := p.AddNode("PM")
+		se := p.AddNode("SE")
+		p.AddEdge(pm, se, 2)
+		return p
+	}
+	pTE := NewPattern(g)
+	se2 := pTE.AddNode("SE")
+	te := pTE.AddNode("TE")
+	pTE.AddEdge(se2, te, 1)
+
+	h := NewHub(g, HubOptions{Workers: 2})
+	id1 := h.Register(mk())
+	id2 := h.Register(pTE)
+
+	if got := h.Result(id1, 0); got.Len() != 1 || !got.Contains(alice) {
+		t.Fatalf("hub IQuery pattern 1 = %v", got)
+	}
+	if got := h.Result(id2, 0); got.Len() != 0 {
+		t.Fatalf("hub IQuery pattern 2 = %v, want ∅ (not total)", got)
+	}
+
+	deltas, _, err := h.ApplyBatch(HubBatch{D: []Update{InsertEdge(bob, dana)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %v, want one per pattern", deltas)
+	}
+	// Pattern 2 became total: SE1 and TE1 appear.
+	if got := h.Result(id2, 1); got.Len() != 1 || !got.Contains(dana) {
+		t.Fatalf("hub pattern 2 after batch = %v, want {dana}", got)
+	}
+	if h.Seq() != 1 || h.LastBatch().SLenSyncs != 1 {
+		t.Fatalf("seq=%d stats=%+v", h.Seq(), h.LastBatch())
+	}
+	if !h.Unregister(id1) {
+		t.Fatal("unregister failed")
+	}
+}
+
 func TestForkIndependencePublic(t *testing.T) {
 	g := NewGraph()
 	a := g.AddNode("A")
