@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test short race fuzz ci bench-seed scaling bench bench-hub serve smoke
+.PHONY: all vet build test short race fuzz ci bench-seed scaling bench bench-hub bench-shards serve shards smoke shard-smoke
 
 all: ci
 
@@ -46,10 +46,38 @@ bench:
 bench-hub:
 	$(GO) run ./cmd/gpnm-bench -patterns 8 -json BENCH_hub.json
 
+# Record the sharded-substrate baseline: same scenario as bench-hub but
+# with the hub's partition engine split across 2 HTTP shard workers —
+# the delta vs BENCH_hub.json is the RPC overhead.
+bench-shards:
+	$(GO) run ./cmd/gpnm-bench -patterns 8 -shards 2 -json BENCH_shards.json
+
 # Standing-query HTTP server on a synthetic demo graph.
 serve:
 	$(GO) run ./cmd/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
 
+# Sharded quickstart: N gpnm-shard workers + one gpnm-serve coordinator
+# on the demo graph (Ctrl-C tears the whole tree down gracefully).
+SHARDS ?= 2
+SHARD_BASE_PORT ?= 9101
+shards:
+	@$(GO) build -o /tmp/gpnm-shard ./cmd/gpnm-shard
+	@$(GO) build -o /tmp/gpnm-serve ./cmd/gpnm-serve
+	@set -e; pids=""; addrs=""; \
+	trap 'kill $$pids 2>/dev/null || true' EXIT INT TERM; \
+	for i in $$(seq 0 $$(( $(SHARDS) - 1 ))); do \
+	  port=$$(( $(SHARD_BASE_PORT) + i )); \
+	  /tmp/gpnm-shard -addr 127.0.0.1:$$port & pids="$$pids $$!"; \
+	  addrs="$$addrs,127.0.0.1:$$port"; \
+	done; \
+	/tmp/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12 \
+	  -shards "$${addrs#,}"
+
 # HTTP smoke test: start gpnm-serve, register, apply, assert the delta.
 smoke:
 	bash scripts/serve_smoke.sh
+
+# Sharded smoke test: 2 gpnm-shard workers + gpnm-serve -shards,
+# register → apply → delta → graceful shutdown.
+shard-smoke:
+	bash scripts/shard_smoke.sh

@@ -10,6 +10,9 @@
 //	gpnm-bench -scaling               # UA-GPNM worker-pool sweep (1..N)
 //	gpnm-bench -workers 1             # pin the engine pool (serial run)
 //	gpnm-bench -patterns 8            # standing-query hub vs 8 sessions
+//	gpnm-bench -patterns 8 -shards 2  # ...with the hub substrate sharded
+//	                                  # across 2 self-spawned HTTP workers
+//	gpnm-bench -patterns 8 -shards host:9101,host:9102   # external workers
 //
 // By default every table (XI–XIV) and every figure (5–9) is printed.
 // Absolute times differ from the paper (Go vs C++, stand-in datasets at
@@ -20,11 +23,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 
 	"uagpnm/internal/bench"
 	"uagpnm/internal/datasets"
+	"uagpnm/internal/shard"
 )
 
 type multiFlag []string
@@ -43,16 +50,29 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run the UA-GPNM worker-scaling sweep instead of the paper protocol")
 	patterns := flag.Int("patterns", 0, "run the N-pattern standing-query amortisation scenario (hub vs N sessions) instead of the paper protocol")
 	noVerify := flag.Bool("no-verify", false, "skip the hub-vs-sessions equality check in the -patterns scenario")
+	shards := flag.String("shards", "", "shard the -patterns hub substrate: an integer N spawns N in-process HTTP shard workers, host:port,... connects to running gpnm-shard processes")
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
 	flag.Parse()
+
+	if *shards != "" && *patterns <= 0 {
+		fmt.Fprintln(os.Stderr, "gpnm-bench: -shards applies to the -patterns scenario (the paper protocol builds many short-lived engines, which one shard fleet cannot serve)")
+		os.Exit(2)
+	}
 
 	if *patterns > 0 {
 		cfg := bench.MultiPatternConfig{Patterns: *patterns, Workers: *workers, Verify: !*noVerify}
 		if *mini {
 			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Batches, cfg.Updates = 1200, 4800, 12, 2, 80
 		}
+		addrs, stop, err := resolveShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpnm-bench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		cfg.Shards = addrs
 		res := bench.RunMultiPattern(cfg)
 		fmt.Print(res.String())
 		writeJSON(*jsonPath, "standing-query amortisation", res.JSON)
@@ -137,6 +157,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "raw cells written to %s\n", *csvPath)
 	}
 	writeJSON(*jsonPath, "raw cells", res.JSON)
+}
+
+// resolveShards turns the -shards flag into worker addresses. An
+// integer N spawns N in-process shard workers on loopback — the full
+// HTTP/JSON protocol with zero orchestration, so the RPC overhead of a
+// sharded deployment is measurable from one binary; anything else is
+// parsed as a comma-separated address list of external gpnm-shard
+// processes. stop tears the spawned listeners down.
+func resolveShards(spec string) (addrs []string, stop func(), err error) {
+	stop = func() {}
+	if spec == "" {
+		return nil, stop, nil
+	}
+	if n, perr := strconv.Atoi(spec); perr == nil {
+		if n < 1 {
+			return nil, stop, fmt.Errorf("-shards %d: need at least one worker", n)
+		}
+		var listeners []net.Listener
+		for i := 0; i < n; i++ {
+			ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				return nil, stop, lerr
+			}
+			listeners = append(listeners, ln)
+			go func() { _ = http.Serve(ln, shard.NewServer().Handler()) }()
+			addrs = append(addrs, ln.Addr().String())
+		}
+		fmt.Fprintf(os.Stderr, "gpnm-bench: spawned %d in-process shard worker(s): %s\n",
+			n, strings.Join(addrs, ", "))
+		return addrs, func() {
+			for _, ln := range listeners {
+				_ = ln.Close()
+			}
+		}, nil
+	}
+	if addrs = shard.ParseAddrs(spec); len(addrs) == 0 {
+		return nil, stop, fmt.Errorf("-shards %q: no addresses", spec)
+	}
+	return addrs, stop, nil
 }
 
 // writeJSON renders via marshal and writes to path ("" = disabled),

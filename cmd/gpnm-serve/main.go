@@ -11,6 +11,12 @@
 //	gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
 //	gpnm-serve                       # empty graph, build via /apply
 //
+// With -shards host:port,... the hub's partition substrate is served
+// from that many gpnm-shard worker processes (the §V partitions split
+// round-robin, the bridge overlay staying in this process as the
+// coordination layer); the HTTP API is unchanged. The server drains
+// in-flight requests on SIGINT/SIGTERM before exiting.
+//
 // Endpoints (see README.md for curl examples):
 //
 //	GET    /healthz                      liveness + hub stats
@@ -24,11 +30,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"uagpnm"
+	"uagpnm/internal/shard"
+	"uagpnm/internal/srvutil"
 )
 
 func main() {
@@ -42,8 +50,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic graph seed")
 	horizon := flag.Int("horizon", 3, "SLen hop cap (0 = exact distances)")
 	workers := flag.Int("workers", 0, "substrate + fan-out worker bound (0 = all cores)")
+	shards := flag.String("shards", "", "comma-separated gpnm-shard worker addresses (host:port,...); empty = in-process substrate")
 	history := flag.Int("history", 0, "retained deltas per pattern for long-polling (0 = default)")
 	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "maximum long-poll wait")
+	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown drain window")
 	flag.Parse()
 
 	g, err := buildGraph(*graphPath, *labelsPath, *defaultLabel, *synthNodes, *synthEdges, *synthLabels, *seed)
@@ -55,17 +65,27 @@ func main() {
 	fmt.Fprintf(os.Stderr, "gpnm-serve: graph ready — %d nodes, %d edges, %d labels\n",
 		stats.Nodes, stats.Edges, stats.Labels)
 
+	shardAddrs := shard.ParseAddrs(*shards)
+	if len(shardAddrs) > 0 {
+		fmt.Fprintf(os.Stderr, "gpnm-serve: sharded substrate across %d worker(s): %s\n",
+			len(shardAddrs), strings.Join(shardAddrs, ", "))
+	}
+
 	h := uagpnm.NewHub(g, uagpnm.HubOptions{
 		Horizon: *horizon,
 		Workers: *workers,
+		Shards:  shardAddrs,
 		History: *history,
 	})
 	srv := newServer(h, *pollTimeout)
 	fmt.Fprintf(os.Stderr, "gpnm-serve: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	// Graceful shutdown on SIGINT/SIGTERM: in-flight /apply and
+	// long-polls drain within the grace window instead of being severed.
+	if err := srvutil.ListenAndServe(*addr, srv.routes(), "gpnm-serve", *grace, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gpnm-serve:", err)
 		os.Exit(1)
 	}
+	_ = h.Close() // release remote shard clients after the drain
 }
 
 func buildGraph(graphPath, labelsPath, defaultLabel string, synthNodes, synthEdges, synthLabels int, seed int64) (*uagpnm.Graph, error) {

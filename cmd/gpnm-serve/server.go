@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"uagpnm"
+	"uagpnm/internal/shard"
+	"uagpnm/internal/srvutil"
 	"uagpnm/internal/updates"
 )
 
@@ -37,7 +40,7 @@ func newServer(h *uagpnm.Hub, pollTimeout time.Duration) *server {
 //	DELETE /patterns/{id}        unregister
 //	GET    /patterns/{id}/deltas long-poll changes since ?since=SEQ
 //	POST   /apply                apply one update batch (data + per-pattern scripts)
-func (s *server) routes() *http.ServeMux {
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /patterns", s.handleRegister)
@@ -45,21 +48,33 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /patterns/{id}", s.handleUnregister)
 	mux.HandleFunc("GET /patterns/{id}/deltas", s.handleDeltas)
 	mux.HandleFunc("POST /apply", s.handleApply)
-	return mux
+	return fatalOnShardLoss(mux)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// fatalOnShardLoss catches what net/http's per-connection recover would
+// otherwise swallow: a shard.TransportError unwinding through a handler
+// means a shard worker was lost mid-mutation — the substrate may be
+// half-advanced relative to the data graph, and every further answer
+// from this process could be silently wrong. The shard error model
+// (internal/shard) says a coordinator losing a shard loses the session,
+// so exit loudly and let the supervisor restart into a clean /build.
+// Any other panic is re-raised for net/http's default handling.
+func fatalOnShardLoss(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			var te *shard.TransportError
+			if err, ok := rec.(error); ok && errors.As(err, &te) {
+				fmt.Fprintf(os.Stderr, "gpnm-serve: fatal: %v — substrate state lost, exiting\n", te)
+				os.Exit(1)
+			}
+			panic(rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *server) patternID(r *http.Request) (uagpnm.PatternID, error) {
@@ -73,7 +88,7 @@ func (s *server) patternID(r *http.Request) (uagpnm.PatternID, error) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.hub.GraphStats() // synchronised: /apply may be mutating the graph
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{
 		"ok":       true,
 		"seq":      s.hub.Seq(),
 		"patterns": len(s.hub.Patterns()),
@@ -92,17 +107,17 @@ type registerRequest struct {
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
 	}
 	// RegisterScript parses under the hub's lock: interning a new label
 	// must not race a concurrent /apply or register.
 	id, err := s.hub.RegisterScript(strings.NewReader(req.Pattern))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.renderResult(id))
+	srvutil.WriteJSON(w, http.StatusOK, s.renderResult(id))
 }
 
 // resultBody renders one standing query's current state.
@@ -149,28 +164,28 @@ func setSlice(s uagpnm.NodeSet) []uint32 {
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id, err := s.patternID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	body := s.renderResult(id)
 	if body == nil {
-		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		srvutil.WriteError(w, http.StatusNotFound, "unknown pattern %d", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	srvutil.WriteJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	id, err := s.patternID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if !s.hub.Unregister(id) {
-		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		srvutil.WriteError(w, http.StatusNotFound, "unknown pattern %d", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	srvutil.WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 type applyRequest struct {
@@ -217,18 +232,18 @@ func renderDelta(d uagpnm.HubDelta) deltaBody {
 func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	var req applyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
 	}
 	var batch uagpnm.HubBatch
 	if req.Data != "" {
 		b, err := updates.ParseScript(strings.NewReader(req.Data))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "data script: %v", err)
+			srvutil.WriteError(w, http.StatusBadRequest, "data script: %v", err)
 			return
 		}
 		if len(b.P) > 0 {
-			writeError(w, http.StatusBadRequest, "data script contains pattern updates; put them under \"patterns\"")
+			srvutil.WriteError(w, http.StatusBadRequest, "data script contains pattern updates; put them under \"patterns\"")
 			return
 		}
 		batch.D = b.D
@@ -236,16 +251,16 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	for rawID, script := range req.Patterns {
 		id, err := strconv.ParseUint(rawID, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad pattern id %q", rawID)
+			srvutil.WriteError(w, http.StatusBadRequest, "bad pattern id %q", rawID)
 			return
 		}
 		b, err := updates.ParseScript(strings.NewReader(script))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "pattern %s script: %v", rawID, err)
+			srvutil.WriteError(w, http.StatusBadRequest, "pattern %s script: %v", rawID, err)
 			return
 		}
 		if len(b.D) > 0 {
-			writeError(w, http.StatusBadRequest, "pattern %s script contains data updates; put them under \"data\"", rawID)
+			srvutil.WriteError(w, http.StatusBadRequest, "pattern %s script contains data updates; put them under \"data\"", rawID)
 			return
 		}
 		if batch.P == nil {
@@ -260,7 +275,7 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, uagpnm.ErrUnknownPattern) {
 			status = http.StatusNotFound
 		}
-		writeError(w, status, "%v", err)
+		srvutil.WriteError(w, status, "%v", err)
 		return
 	}
 	// Report THIS batch's seq and cost: a concurrent /apply may already
@@ -273,7 +288,7 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	for _, d := range deltas {
 		resp.Deltas = append(resp.Deltas, renderDelta(d))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	srvutil.WriteJSON(w, http.StatusOK, resp)
 }
 
 type deltasResponse struct {
@@ -285,14 +300,14 @@ type deltasResponse struct {
 func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	id, err := s.patternID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		srvutil.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	since := uint64(0)
 	if raw := r.URL.Query().Get("since"); raw != "" {
 		since, err = strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad since %q", raw)
+			srvutil.WriteError(w, http.StatusBadRequest, "bad since %q", raw)
 			return
 		}
 	}
@@ -300,7 +315,7 @@ func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("timeout"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "bad timeout %q", raw)
+			srvutil.WriteError(w, http.StatusBadRequest, "bad timeout %q", raw)
 			return
 		}
 		if d < timeout {
@@ -313,11 +328,11 @@ func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	ds, resync, err := s.hub.WaitDeltas(ctx, id, since)
 	switch {
 	case errors.Is(err, uagpnm.ErrUnknownPattern):
-		writeError(w, http.StatusNotFound, "unknown pattern %d", id)
+		srvutil.WriteError(w, http.StatusNotFound, "unknown pattern %d", id)
 		return
 	case err != nil:
 		// Timeout or client cancellation: an empty poll, not a failure.
-		writeJSON(w, http.StatusOK, deltasResponse{Seq: since, Deltas: []deltaBody{}})
+		srvutil.WriteJSON(w, http.StatusOK, deltasResponse{Seq: since, Deltas: []deltaBody{}})
 		return
 	}
 	resp := deltasResponse{Seq: since, Resync: resync, Deltas: []deltaBody{}}
@@ -327,5 +342,5 @@ func (s *server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 			resp.Seq = d.Seq
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	srvutil.WriteJSON(w, http.StatusOK, resp)
 }

@@ -31,7 +31,9 @@ func mustJSON(t *testing.T, resp *http.Response, wantStatus int, into interface{
 	t.Helper()
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
-		var e errorBody
+		var e struct {
+			Error string `json:"error"`
+		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
 		t.Fatalf("status %d (want %d): %s", resp.StatusCode, wantStatus, e.Error)
 	}

@@ -33,6 +33,12 @@ type MultiPatternConfig struct {
 	Workers int // worker bound for hub fan-out and engines (0 = all cores)
 	Seed    int64
 
+	// Shards, when non-empty, serves the hub side's partition substrate
+	// from gpnm-shard workers at these addresses (the sessions side
+	// stays in-process) — run next to the in-process baseline, the
+	// delta is the RPC overhead of the sharded deployment.
+	Shards []string
+
 	// Verify differentially checks, after every batch, that each hub
 	// pattern's match equals the corresponding session's (enabled by
 	// default in the CLI; costs one comparison per pattern per batch).
@@ -50,6 +56,7 @@ type MultiPatternSide struct {
 // MultiPatternResult is the measured comparison.
 type MultiPatternResult struct {
 	Config   MultiPatternConfig `json:"config"`
+	Env      RunEnv             `json:"env"`
 	Hub      MultiPatternSide   `json:"hub"`
 	Sessions MultiPatternSide   `json:"sessions"`
 	// SLenSyncRatio = hub syncs / session syncs — deterministically
@@ -117,11 +124,13 @@ func RunMultiPattern(cfg MultiPatternConfig) MultiPatternResult {
 		}
 	}
 
-	res := MultiPatternResult{Config: cfg, Verified: cfg.Verify}
+	res := MultiPatternResult{Config: cfg, Env: CaptureEnv(cfg.Workers, len(cfg.Shards)), Verified: cfg.Verify}
 
-	// One hub, N standing queries, one substrate.
+	// One hub, N standing queries, one substrate (optionally sharded
+	// across remote workers).
 	start := time.Now()
-	h := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers})
+	h := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers, Shards: cfg.Shards})
+	defer h.Close()
 	ids := make([]hub.PatternID, cfg.Patterns)
 	for i, ph := range patterns {
 		ids[i] = h.Register(ph.Clone())
@@ -179,8 +188,12 @@ func ratio(a, b float64) float64 {
 // String renders the comparison as a table.
 func (r MultiPatternResult) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "standing-query amortisation — %d patterns, %d nodes, %d edges, %d batches × %d updates (workers=%d)\n",
-		r.Config.Patterns, r.Config.Nodes, r.Config.Edges, r.Config.Batches, r.Config.Updates, r.Config.Workers)
+	sharded := ""
+	if n := len(r.Config.Shards); n > 0 {
+		sharded = fmt.Sprintf(", hub substrate sharded across %d worker(s)", n)
+	}
+	fmt.Fprintf(&sb, "standing-query amortisation — %d patterns, %d nodes, %d edges, %d batches × %d updates (workers=%d%s)\n",
+		r.Config.Patterns, r.Config.Nodes, r.Config.Edges, r.Config.Batches, r.Config.Updates, r.Config.Workers, sharded)
 	fmt.Fprintf(&sb, "%-22s  %12s  %12s  %10s  %12s\n", "", "build (s)", "slen (s)", "syncs", "total (s)")
 	row := func(name string, s MultiPatternSide) {
 		fmt.Fprintf(&sb, "%-22s  %12.4f  %12.4f  %10d  %12.4f\n",

@@ -3,12 +3,39 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
 
 	"uagpnm/internal/core"
 )
+
+// RunEnv records the hardware and concurrency context a BENCH_*.json
+// file was recorded under. The container this repository grows in is
+// single-core; without these fields a baseline recorded there is
+// indistinguishable from a 32-way run, and parallel speedups (or their
+// absence) cannot be interpreted.
+type RunEnv struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the configured engine/fan-out worker bound
+	// (0 = all cores).
+	Workers int `json:"workers"`
+	// Shards counts the remote gpnm-shard workers serving the
+	// partition substrate (0 = fully in-process).
+	Shards int `json:"shards"`
+}
+
+// CaptureEnv snapshots the current process environment.
+func CaptureEnv(workers, shards int) RunEnv {
+	return RunEnv{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Shards:     shards,
+	}
+}
 
 // This file renders the paper's evaluation artifacts from a Results:
 //
@@ -285,12 +312,14 @@ func (r *Results) JSON() ([]byte, error) {
 	cells := append([]Cell(nil), r.Cells...)
 	sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
 	out := struct {
+		Env            RunEnv             `json:"env"`
 		Workers        int                `json:"workers"`
 		Horizon        int                `json:"horizon"`
 		Reps           int                `json:"reps"`
 		MethodAverages map[string]float64 `json:"method_averages_seconds"`
 		Cells          []jsonCell         `json:"cells"`
 	}{
+		Env:            CaptureEnv(r.Protocol.Workers, 0),
 		Workers:        r.Protocol.Workers,
 		Horizon:        r.Protocol.Horizon,
 		Reps:           r.Protocol.Reps,

@@ -32,6 +32,7 @@ import (
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/partition"
 	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/shortest"
 	"uagpnm/internal/simulation"
 	"uagpnm/internal/updates"
@@ -87,6 +88,13 @@ type Config struct {
 	// fully serial (the baseline configuration UA-GPNM-NoPar and the
 	// other baselines are measured in).
 	Workers int
+	// ShardAddrs, when non-empty, serves the UA-GPNM partition engine's
+	// per-partition intra state from remote shard workers (cmd/gpnm-shard
+	// processes at these host:port addresses) instead of in-process: the
+	// coordinator keeps the bridge overlay, stitching and caches, and
+	// fans intra builds, row queries and batch affected-ball phases
+	// across the workers. Ignored by the global-SLen methods.
+	ShardAddrs []string
 }
 
 // QueryStats records the work of the last SQuery.
@@ -175,6 +183,13 @@ func NewEngineFor(g *graph.Graph, cfg Config) shortest.DistanceEngine {
 		if cfg.Workers > 0 {
 			opts = append(opts, partition.WithWorkers(cfg.Workers))
 		}
+		if len(cfg.ShardAddrs) > 0 {
+			shs := make([]shard.Shard, len(cfg.ShardAddrs))
+			for i, addr := range cfg.ShardAddrs {
+				shs[i] = shard.Dial(addr)
+			}
+			opts = append(opts, partition.WithShards(shs...))
+		}
 		return partition.NewEngine(g, cfg.Horizon, opts...)
 	}
 	var opts []shortest.Option
@@ -209,6 +224,16 @@ func (s *Session) Fork() *Session {
 // Result returns the GPNM node matching result for pattern node u
 // (empty unless every pattern node is matched — BGS semantics).
 func (s *Session) Result(u pattern.NodeID) nodeset.Set { return s.Match.Nodes(u) }
+
+// Close releases the session's substrate shards (remote shard clients
+// drop their caches and idle connections; in-process substrates are a
+// no-op). The session must not be queried afterwards.
+func (s *Session) Close() error {
+	if pe, ok := s.Engine.(*partition.Engine); ok {
+		return pe.Close()
+	}
+	return nil
+}
 
 // SQuery processes one update batch with the session's method and
 // returns the subsequent query's match. Batches must have been generated

@@ -2,12 +2,14 @@ package hub
 
 import (
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
 	"uagpnm/internal/core"
 	"uagpnm/internal/graph"
 	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/updates"
 )
 
@@ -146,6 +148,54 @@ func TestHubDifferentialStress(t *testing.T) {
 	}
 	if changed != k {
 		t.Fatalf("only %d/%d patterns processed batches", changed, k)
+	}
+}
+
+// TestHubShardedDifferential runs the hub on a substrate whose
+// partitions are served by two RPC shard workers (real HTTP via
+// httptest) and compares every pattern's result after every batch
+// against Scratch sessions — the sharded deployment must be invisible
+// to the hub's phase discipline. Run under -race: phase 3's concurrent
+// per-pattern readers all funnel through the RPC row cache.
+func TestHubShardedDifferential(t *testing.T) {
+	const k = 3
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ts := httptest.NewServer(shard.NewServer().Handler())
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	for _, workers := range []int{1, 4} {
+		g, ps := randomInstance(int64(73000+workers), 40, 110, k)
+		h := New(g.Clone(), Config{Horizon: 3, Workers: workers, Shards: addrs})
+		ids := make([]PatternID, k)
+		sessions := make([]*core.Session, k)
+		for i, p := range ps {
+			ids[i] = h.Register(p.Clone())
+			sessions[i] = core.NewSession(g.Clone(), p.Clone(),
+				core.Config{Method: core.Scratch, Horizon: 3})
+		}
+		for round := 0; round < 3; round++ {
+			data := updates.Generate(
+				updates.Balanced(int64(7400+workers*100+round), 0, 10), h.Graph(), ps[0])
+			perPattern := make(map[PatternID][]updates.Update, k)
+			for i := range ps {
+				pb := updates.Generate(
+					updates.Balanced(int64(7500+workers*100+round*k+i), 2, 0),
+					sessions[i].G, sessions[i].P)
+				perPattern[ids[i]] = pb.P
+			}
+			if _, _, err := h.ApplyBatch(Batch{D: data.D, P: perPattern}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ps {
+				ref := sessions[i].SQuery(updates.Batch{D: data.D, P: perPattern[ids[i]]})
+				if got, _ := h.Match(ids[i]); !got.Equal(ref) {
+					t.Fatalf("workers=%d round=%d pattern=%d: sharded hub diverges from Scratch",
+						workers, round, i)
+				}
+			}
+		}
 	}
 }
 

@@ -76,6 +76,13 @@ type Config struct {
 	// Workers bounds both the substrate's internal pool and the hub's
 	// per-pattern fan-out (0 = all cores, 1 = fully serial).
 	Workers int
+	// Shards, when non-empty, serves the UA-GPNM substrate's
+	// per-partition intra state from remote shard workers (cmd/gpnm-shard
+	// at these host:port addresses). The hub's phase discipline is
+	// unchanged: the single writer streams each batch's ops to the
+	// workers once, and the per-pattern readers of phase 3 query the
+	// frozen post-batch shard state through the coordinator's caches.
+	Shards []string
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256 non-empty deltas). Subscribers further behind than
 	// the log reaches receive a resync signal instead of deltas.
@@ -166,6 +173,7 @@ func New(g *graph.Graph, cfg Config) *Hub {
 		DenseThreshold: cfg.DenseThreshold,
 		ELLWidth:       cfg.ELLWidth,
 		Workers:        cfg.Workers,
+		ShardAddrs:     cfg.Shards,
 	})
 	h.eng.Build()
 	return h
@@ -278,6 +286,19 @@ func (h *Hub) GraphStats() graph.Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.g.ComputeStats()
+}
+
+// Close releases the hub's substrate shards (remote shard clients drop
+// their caches and idle connections; in-process substrates are a
+// no-op). Call once the hub is done serving; it does not wait for or
+// interrupt in-flight batches.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pe, ok := h.eng.(*partition.Engine); ok {
+		return pe.Close()
+	}
+	return nil
 }
 
 // LastBatch reports the shared work of the most recent ApplyBatch.

@@ -3,14 +3,15 @@ package partition
 import (
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/updates"
 )
 
 // ApplyDataBatch applies a whole ΔGD sequence — mutating the data graph,
-// the partition subgraphs and the intra-partition engines per update —
-// with a single overlay reconciliation at the end, and returns the
-// per-update affected sets (Aff_N, for DER-II/EH-Tree) plus their union
-// (the batch change log the amendment seeds on).
+// the partition subgraph mirrors and the (shard-hosted) intra-partition
+// engines per update — with a single overlay reconciliation at the end,
+// and returns the per-update affected sets (Aff_N, for DER-II/EH-Tree)
+// plus their union (the batch change log the amendment seeds on).
 //
 // Affected sets are the conservative ball supersets: deletions take
 // their balls in the pre-batch state (covering every pair whose original
@@ -22,58 +23,83 @@ import (
 // maintenance cost, which is what UA-GPNM's batching buys (§VI).
 //
 // The ball phases (1 and 4) are read-only snapshots of a fixed graph
-// state and run one update per worker; the structural phase (2) is
-// order-dependent and stays serial; the overlay reconciliation (3)
-// parallelises internally. Finally the stitched rows of the change log —
-// exactly the rows the subsequent amendment pass queries — are
-// pre-warmed across the pool.
+// state; with in-process shards they run one update per pool worker,
+// with remote shards they fan across the shard processes (each worker
+// computing its slice against its own data-graph replica). The
+// structural phase (2) is order-dependent: the coordinator applies
+// every update to its own structures serially, handing in-process
+// shards their ops one by one (preserving the monolith's exact
+// interleaving) and streaming remote shards the whole ordered op list
+// in one RPC each. The overlay reconciliation (3) parallelises
+// internally. Finally the stitched rows of the change log — exactly
+// the rows the subsequent amendment pass queries — are pre-warmed
+// across the pool.
 func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set) {
 	perUpdate = make([]nodeset.Set, len(ds))
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
-	parallelFor(e.workers, len(ds), func(i int) {
-		switch u := ds[i]; u.Kind {
-		case updates.DataEdgeDelete:
-			if g.HasEdge(u.From, u.To) {
-				perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
+	if e.remote {
+		e.remoteAffected(ds, g, false, nil, perUpdate)
+	} else {
+		parallelFor(e.workers, len(ds), func(i int) {
+			switch u := ds[i]; u.Kind {
+			case updates.DataEdgeDelete:
+				if g.HasEdge(u.From, u.To) {
+					perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
+				}
+			case updates.DataNodeDelete:
+				if g.Alive(u.Node) {
+					perUpdate[i] = e.nodeAffected(u.Node, g.Out(u.Node), g.In(u.Node))
+				}
 			}
-		case updates.DataNodeDelete:
-			if g.Alive(u.Node) {
-				perUpdate[i] = e.nodeAffected(u.Node, g.Out(u.Node), g.In(u.Node))
-			}
-		}
-	})
+		})
+	}
 
 	// Phase 2: structural application in update order; the overlay is
-	// left stale, accumulating dirty anchors.
+	// left stale, accumulating dirty anchors. In-process shards apply
+	// each op as it is staged; for remote shards the ordered op list is
+	// flushed once at the end (their affected sets settle into dirty
+	// afterwards — a superset of the per-op translation, since every
+	// bridge-status change already dirties its endpoints directly).
 	var dirty nodeset.Builder
 	applied := make([]bool, len(ds))
+	var pending []shard.Op
+	stage := func(op shard.Op) {
+		if e.remote {
+			pending = append(pending, op)
+			return
+		}
+		e.applyOps([]shard.Op{op}, &dirty)
+	}
 	for i, u := range ds {
 		switch u.Kind {
 		case updates.DataEdgeInsert:
 			if g.AddEdge(u.From, u.To) {
-				e.insertEdgeStructural(u.From, u.To, &dirty)
+				stage(e.stageInsertEdge(u.From, u.To, &dirty))
 				applied[i] = true
 			}
 		case updates.DataEdgeDelete:
 			if g.RemoveEdge(u.From, u.To) {
-				e.deleteEdgeStructural(u.From, u.To, &dirty)
+				stage(e.stageDeleteEdge(u.From, u.To, &dirty))
 				applied[i] = true
 			}
 		case updates.DataNodeInsert:
 			if id := g.AddNode(u.Labels...); id != u.Node {
 				panic("partition: batch node insert id mismatch")
 			}
-			e.insertNodeStructural(u.Node)
+			stage(e.stageInsertNode(u.Node))
 			applied[i] = true
 		case updates.DataNodeDelete:
 			if removed, ok := g.RemoveNode(u.Node); ok {
-				e.deleteNodeStructural(u.Node, removed, &dirty)
+				stage(e.stageDeleteNode(u.Node, removed, &dirty))
 				applied[i] = true
 			}
 		default:
 			panic("partition: ApplyDataBatch on pattern update " + u.String())
 		}
+	}
+	if e.remote {
+		e.applyOps(pending, &dirty)
 	}
 
 	// Phase 3: one overlay reconciliation for the whole batch; the
@@ -84,17 +110,21 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	e.invalidate()
 
 	// Phase 4: post-state balls for insertions; assemble the change log.
-	parallelFor(e.workers, len(ds), func(i int) {
-		if !applied[i] {
-			return
-		}
-		switch u := ds[i]; u.Kind {
-		case updates.DataEdgeInsert:
-			perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
-		case updates.DataNodeInsert:
-			perUpdate[i] = nodeset.New(u.Node)
-		}
-	})
+	if e.remote {
+		e.remoteAffected(ds, g, true, applied, perUpdate)
+	} else {
+		parallelFor(e.workers, len(ds), func(i int) {
+			if !applied[i] {
+				return
+			}
+			switch u := ds[i]; u.Kind {
+			case updates.DataEdgeInsert:
+				perUpdate[i] = e.conservativeEdgeAffected(u.From, u.To)
+			case updates.DataNodeInsert:
+				perUpdate[i] = nodeset.New(u.Node)
+			}
+		})
+	}
 	var log nodeset.Builder
 	for i := range ds {
 		if applied[i] {

@@ -8,7 +8,9 @@ import (
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/shortest"
+	"uagpnm/internal/updates"
 )
 
 // Engine is the partition-based SLen substrate (§V): per-partition intra
@@ -25,16 +27,27 @@ import (
 // touches one partition engine (and the overlay only when bridge-node
 // distances move); a cross edge touches only the overlay.
 //
+// Layering: the engine is the *coordinator* of the substrate. It owns
+// the data graph, the partition bookkeeping (membership, bridge-node
+// counters, subgraph mirrors), the bridge overlay and the stitched-row
+// caches; the per-partition SLen engines — the superlinear part of the
+// state — live behind the shard.Shard seam. The default configuration
+// wraps everything in one in-process shard (shard.Local), which is the
+// monolithic engine re-expressed; WithShards substitutes remote shard
+// workers (cmd/gpnm-shard over HTTP/JSON), fanning intra builds, row
+// queries and batch affected-ball phases across processes while the
+// coordinator keeps the phase discipline unchanged.
+//
 // Concurrency contract: mutations are single-goroutine like every other
 // DistanceEngine — callers never invoke two mutating methods (Build,
 // Insert*/Delete*, ApplyDataBatch, EnsureHorizon) concurrently, nor a
 // mutation concurrently with anything else. The engine itself fans
 // embarrassingly parallel phases (per-partition intra builds, per-source
 // overlay Dijkstras, per-update affected balls, stitched-row prefetch)
-// across a bounded worker pool sized by WithWorkers; every parallel
-// phase only reads shared structures and keeps its mutable state in
-// pooled per-worker scratch, with results installed from a single
-// goroutine.
+// across a bounded worker pool sized by WithWorkers (and across shard
+// processes when remote); every parallel phase only reads shared
+// structures and keeps its mutable state in pooled per-worker scratch,
+// with results installed from a single goroutine.
 //
 // Read epochs: between mutations the query side (Dist, WithinHops,
 // Reachable, Forward/ReverseBall, Preview*) is safe for any number of
@@ -43,7 +56,8 @@ import (
 // row-cache fill is serialised internally (cacheMu). The standing-query
 // hub (internal/hub) leans on exactly this: one writer advances the
 // engine per batch, then many per-pattern readers amend against the
-// frozen post-batch state.
+// frozen post-batch state. Shard implementations honour the same
+// contract (concurrent reads between mutations).
 //
 // Engine implements shortest.DistanceEngine; affected sets are the
 // conservative ball supersets documented on each method.
@@ -56,9 +70,20 @@ type Engine struct {
 	ellWidth       int
 	stitched       bool // assemble cached rows via §V stitching
 	workers        int  // worker pool bound (1 = serial)
+	nLocal         int  // WithLocalShards count (0 = one)
 
-	ballPool  sync.Pool // *ballScratch, per-worker stitched-ball state
+	// shards host the per-partition intra engines; shardOf maps a
+	// partition index to its owning shard (round-robin for partitions
+	// created after construction). remote is set when the shards are
+	// out-of-process (every op is then also streamed to non-owning
+	// shards for data-graph replica maintenance, and conservative
+	// affected balls are computed shard-side).
+	shards  []shard.Shard
+	shardOf []int32
+	remote  bool
+
 	gballPool sync.Pool // *shortest.GraphBall, per-worker adjacency BFS
+	ballPool  sync.Pool // *ballScratch, per-worker stitched-ball state
 
 	// Materialised stitched rows, keyed by source node, built lazily at
 	// the full horizon on first query and dropped on any mutation. The
@@ -100,7 +125,8 @@ func WithELLWidth(k int) Option { return func(e *Engine) { e.ellWidth = k } }
 // WithStitchedQueries makes cache-miss ball rows assemble through the
 // partition structures (intra + overlay) instead of a direct bounded
 // BFS. Results are identical; this exists to exercise and measure the
-// literal §V computation.
+// literal §V computation (and is forced on for remote shards, whose
+// intra state the coordinator does not hold).
 func WithStitchedQueries() Option { return func(e *Engine) { e.stitched = true } }
 
 // WithWorkers bounds the engine's internal worker pool: per-partition
@@ -108,6 +134,21 @@ func WithStitchedQueries() Option { return func(e *Engine) { e.stitched = true }
 // all fan across up to n goroutines. n ≤ 0 selects GOMAXPROCS; 1 runs
 // every phase serially (the UA-GPNM-NoPar-comparable baseline).
 func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithShards serves the per-partition intra engines from the given
+// shards instead of the default single in-process shard. Partitions
+// are assigned round-robin. Shards must be homogeneous: either all
+// in-process or all remote (remote shards need every op for replica
+// maintenance, which a mixed fleet would miss).
+func WithShards(shs ...shard.Shard) Option {
+	return func(e *Engine) { e.shards = append([]shard.Shard(nil), shs...) }
+}
+
+// WithLocalShards splits the partitions round-robin across n in-process
+// shards instead of the default single one. Results are identical by
+// construction; this exists to exercise the multi-shard routing without
+// processes (the differential suite runs it alongside the RPC path).
+func WithLocalShards(n int) Option { return func(e *Engine) { e.nLocal = n } }
 
 // NewEngine creates a partition-based SLen engine over g with the given
 // hop horizon (0 = exact). Call Build before querying.
@@ -125,8 +166,32 @@ func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
 	e.initPools()
-	e.part = newPartitioning(g, horizon, e.denseThreshold, e.ellWidth)
-	e.ov = newOverlay(e.part)
+	e.part = newPartitioning(g, horizon)
+	if len(e.shards) == 0 {
+		n := e.nLocal
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			e.shards = append(e.shards, shard.NewLocal(e.subOf))
+		}
+	}
+	remotes := 0
+	for _, sh := range e.shards {
+		if sh.Remote() {
+			remotes++
+		}
+	}
+	if remotes > 0 {
+		if remotes != len(e.shards) {
+			panic("partition: mixed in-process and remote shards")
+		}
+		e.remote = true
+		// The coordinator holds no intra matrices for remote shards;
+		// cache-miss rows must assemble through the §V structures.
+		e.stitched = true
+	}
+	e.ov = newOverlay(e)
 	return e
 }
 
@@ -135,15 +200,92 @@ func (e *Engine) initPools() {
 	e.gballPool.New = func() interface{} { return shortest.NewGraphBall() }
 }
 
+// subOf is the subgraph accessor handed to in-process shards.
+func (e *Engine) subOf(part int) *graph.Graph { return e.part.parts[part].sub }
+
 // Workers reports the engine's worker pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Build computes every partition's intra distances and the overlay APSP,
-// fanning both across the worker pool.
+// Shards reports how many shards serve the partitions (1 = in-process).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Remote reports whether the shards are out-of-process workers.
+func (e *Engine) Remote() bool { return e.remote }
+
+// shardConfig snapshots the parameters every shard builds with.
+func (e *Engine) shardConfig() shard.Config {
+	return shard.Config{
+		Horizon:        e.horizon,
+		DenseThreshold: e.denseThreshold,
+		ELLWidth:       e.ellWidth,
+		Workers:        e.workers,
+	}
+}
+
+// assignShards extends the partition → shard map round-robin over any
+// partitions created since the last call.
+func (e *Engine) assignShards() {
+	for len(e.shardOf) < len(e.part.parts) {
+		e.shardOf = append(e.shardOf, int32(len(e.shardOf)%len(e.shards)))
+	}
+}
+
+// engineSource exposes coordinator state for shard builds (shard.Source).
+// The full-graph snapshot is computed at most once per Build — every
+// remote shard asks for it, and re-walking a sharding-scale edge list
+// N times (holding N copies) would dominate build cost.
+type engineSource struct {
+	e    *Engine
+	once sync.Once
+	g    shard.Snapshot
+}
+
+func (s *engineSource) NumParts() int { return len(s.e.part.parts) }
+func (s *engineSource) PartSnapshot(i int) shard.Snapshot {
+	return shard.Snap(i, s.e.part.parts[i].sub)
+}
+func (s *engineSource) GraphSnapshot() shard.Snapshot {
+	s.once.Do(func() { s.g = shard.Snap(-1, s.e.part.g) })
+	return s.g
+}
+
+// Build computes every partition's intra distances (fanned across the
+// shards, each fanning across its own pool) and the overlay APSP.
 func (e *Engine) Build() {
-	e.part.buildEngines(e.workers)
+	e.assignShards()
+	cfg := e.shardConfig()
+	owned := make([][]int, len(e.shards))
+	for p, s := range e.shardOf {
+		owned[s] = append(owned[s], p)
+	}
+	src := &engineSource{e: e}
+	if e.remote {
+		// Remote builds block on the worker; overlap them.
+		parallelFor(len(e.shards), len(e.shards), func(i int) {
+			e.shards[i].Build(cfg, i, owned[i], src)
+		})
+	} else {
+		// In-process shards fan partitions across the full pool
+		// themselves; building them one after another avoids
+		// oversubscribing it.
+		for i, sh := range e.shards {
+			sh.Build(cfg, i, owned[i], src)
+		}
+	}
 	e.ov.build(e.workers)
 	e.invalidate()
+}
+
+// Close releases the shards (remote: closes idle connections). The
+// engine is unusable afterwards.
+func (e *Engine) Close() error {
+	var first error
+	for _, sh := range e.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Graph returns the engine's data graph.
@@ -170,6 +312,22 @@ func (e *Engine) capHops() int {
 // the oracle's own state is authoritative for distance queries).
 func (e *Engine) oracleAlive(id uint32) bool { return e.part.partIndex(id) != none }
 
+// intraBall visits the intra ball of a partition-local node through the
+// owning shard (ascending local-id order).
+func (e *Engine) intraBall(pi int32, local uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
+	e.shards[e.shardOf[pi]].Ball(int(pi), local, maxD, reverse, fn)
+}
+
+// intraDist returns the shortest path length from x to y using only
+// edges inside their (shared) partition; Inf when they differ.
+func (e *Engine) intraDist(x, y uint32) shortest.Dist {
+	pi := e.part.partIndex(x)
+	if pi == none || pi != e.part.partIndex(y) {
+		return shortest.Inf
+	}
+	return e.shards[e.shardOf[pi]].Dist(int(pi), e.part.localOf[x], e.part.localOf[y])
+}
+
 // Dist returns the stitched shortest path length from x to y.
 func (e *Engine) Dist(x, y uint32) shortest.Dist {
 	if !e.oracleAlive(x) || !e.oracleAlive(y) {
@@ -181,7 +339,7 @@ func (e *Engine) Dist(x, y uint32) shortest.Dist {
 	H := e.capHops()
 	best := int(shortest.Inf)
 	if e.part.partIndex(x) == e.part.partIndex(y) {
-		if d := e.part.intraDist(x, y); d != shortest.Inf {
+		if d := e.intraDist(x, y); d != shortest.Inf {
 			best = int(d)
 		}
 	}
@@ -197,7 +355,7 @@ func (e *Engine) Dist(x, y uint32) shortest.Dist {
 			if e.part.partIndex(b) != e.part.partIndex(y) {
 				return true
 			}
-			if db := e.part.intraDist(b, y); db != shortest.Inf {
+			if db := e.intraDist(b, y); db != shortest.Inf {
 				if t := int(du) + int(dov) + int(db); t < best {
 					best = t
 				}
@@ -224,7 +382,7 @@ func (e *Engine) exitsOf(x uint32, maxD int, fn func(u uint32, d shortest.Dist))
 		return
 	}
 	pt := e.part.parts[pi]
-	pt.eng.ForwardBall(e.part.localOf[x], maxD, func(local uint32, d shortest.Dist) bool {
+	e.intraBall(pi, e.part.localOf[x], maxD, false, func(local uint32, d shortest.Dist) bool {
 		gid := pt.globals[local]
 		if e.part.isExit(gid) {
 			fn(gid, d)
@@ -244,7 +402,7 @@ func (e *Engine) entriesTo(y uint32, maxD int, fn func(b uint32, d shortest.Dist
 		return
 	}
 	pt := e.part.parts[pi]
-	pt.eng.ReverseBall(e.part.localOf[y], maxD, func(local uint32, d shortest.Dist) bool {
+	e.intraBall(pi, e.part.localOf[y], maxD, true, func(local uint32, d shortest.Dist) bool {
 		gid := pt.globals[local]
 		if e.part.isEntry(gid) {
 			fn(gid, d)
@@ -313,11 +471,12 @@ func (e *Engine) cachedBall(x uint32, k int, reverse bool, fn func(v uint32, d s
 // buildRow materialises the full-horizon row of x for the cache. By
 // default the row comes from a bounded BFS over the data graph — exact,
 // and the cheapest way to materialise one row of the capped SLen.
-// WithStitchedQueries switches to assembling the row from the §V
-// structures (intra distances + bridge overlay); the two agree entry for
-// entry (enforced by tests), the stitched path being what Dist uses for
-// point queries either way. buildRow only reads shared state (scratch is
-// pooled), so rows for distinct sources assemble concurrently.
+// WithStitchedQueries (forced on for remote shards) switches to
+// assembling the row from the §V structures (intra distances + bridge
+// overlay); the two agree entry for entry (enforced by tests), the
+// stitched path being what Dist uses for point queries either way.
+// buildRow only reads shared state (scratch is pooled), so rows for
+// distinct sources assemble concurrently.
 func (e *Engine) buildRow(x uint32, reverse bool) []ballEntry {
 	if e.stitched {
 		var row []ballEntry
@@ -420,11 +579,7 @@ func (e *Engine) ballInto(x uint32, k int, reverse bool, fn func(v uint32, d sho
 	// Intra segment.
 	pi := e.part.partIndex(x)
 	pt := e.part.parts[pi]
-	intraBall := pt.eng.ForwardBall
-	if reverse {
-		intraBall = pt.eng.ReverseBall
-	}
-	intraBall(e.part.localOf[x], k, func(local uint32, d shortest.Dist) bool {
+	e.intraBall(pi, e.part.localOf[x], k, reverse, func(local uint32, d shortest.Dist) bool {
 		merge(pt.globals[local], d)
 		return true
 	})
@@ -443,12 +598,9 @@ func (e *Engine) ballInto(x uint32, k int, reverse bool, fn func(v uint32, d sho
 			if rem < 0 || !farEnd(b) {
 				return true
 			}
-			bp := e.part.parts[e.part.partIndex(b)]
-			farBall := bp.eng.ForwardBall
-			if reverse {
-				farBall = bp.eng.ReverseBall
-			}
-			farBall(e.part.localOf[b], rem, func(local uint32, d shortest.Dist) bool {
+			bpi := e.part.partIndex(b)
+			bp := e.part.parts[bpi]
+			e.intraBall(bpi, e.part.localOf[b], rem, reverse, func(local uint32, d shortest.Dist) bool {
 				merge(bp.globals[local], du+dov+d)
 				return true
 			})
@@ -477,30 +629,15 @@ type ballEntry struct {
 }
 
 // conservativeEdgeAffected is the ball superset used as the affected set
-// of an edge update: everything that reaches u within H-1 plus everything
-// within H-1 of v (plus the endpoints). For insertions these balls are
-// identical before and after the update (a new path to u via (u,v) would
-// cycle through u), so one formula serves preview and apply; for
-// deletions they are evaluated in the pre-delete state, which covers
-// every pair whose old shortest path used the edge. The balls come from
-// a direct BFS over the data graph — the graph always reflects the same
-// state as the oracle, and adjacency BFS is far cheaper than stitching.
-// Read-only, with pooled scratch: safe to evaluate for many updates
-// concurrently.
+// of an edge update (shard.EdgeAffected with pooled scratch). The balls
+// come from a direct BFS over the data graph — the graph always reflects
+// the same state as the oracle, and adjacency BFS is far cheaper than
+// stitching. Read-only: safe to evaluate for many updates concurrently.
 func (e *Engine) conservativeEdgeAffected(u, v uint32) nodeset.Set {
-	H := e.capHops()
 	gb := e.gballPool.Get().(*shortest.GraphBall)
-	var b nodeset.Builder
-	b.Add(u)
-	b.Add(v)
-	for _, x := range gb.Ball(e.part.g, u, H-1, true) {
-		b.Add(x)
-	}
-	for _, y := range gb.Ball(e.part.g, v, H-1, false) {
-		b.Add(y)
-	}
+	s := shard.EdgeAffected(gb, e.part.g, u, v, e.horizon)
 	e.gballPool.Put(gb)
-	return b.Set()
+	return s
 }
 
 // PreviewInsertEdge returns the affected superset for inserting (u,v)
@@ -513,7 +650,7 @@ func (e *Engine) PreviewInsertEdge(u, v uint32) nodeset.Set {
 // the graph and returns the affected superset.
 func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
 	var dirty nodeset.Builder
-	e.insertEdgeStructural(u, v, &dirty)
+	e.applyOps([]shard.Op{e.stageInsertEdge(u, v, &dirty)}, &dirty)
 	if dirty.Len() > 0 {
 		e.ov.recompute(dirty.Set(), e.workers)
 	}
@@ -521,22 +658,24 @@ func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
 	return e.conservativeEdgeAffected(u, v)
 }
 
-// insertEdgeStructural records edge (u,v) in the partition structures
-// (the graph must already contain it), accumulating dirty overlay
-// anchors without reconciling the overlay.
-func (e *Engine) insertEdgeStructural(u, v uint32, dirty *nodeset.Builder) {
+// stageInsertEdge records edge (u,v) in the coordinator's partition
+// structures (the graph must already contain it), accumulating dirty
+// overlay anchors for the cross case, and returns the op the owning
+// shard must apply.
+func (e *Engine) stageInsertEdge(u, v uint32, dirty *nodeset.Builder) shard.Op {
+	op := shard.Op{Kind: shard.OpEdgeInsert, From: u, To: v, Part: -1, Shard: -1}
 	pu, pv := e.part.partIndex(u), e.part.partIndex(v)
 	if pu == pv {
 		pt := e.part.parts[pu]
 		lu, lv := e.part.localOf[u], e.part.localOf[v]
 		pt.sub.AddEdge(lu, lv)
-		intraAff := pt.eng.InsertEdge(lu, lv)
-		e.dirtyBridges(pt, intraAff, dirty)
+		op.Part, op.Shard, op.LFrom, op.LTo = int(pu), int(e.shardOf[pu]), lu, lv
 	} else {
 		e.part.noteCross(u, v, +1)
 		dirty.Add(u)
 		dirty.Add(v)
 	}
+	return op
 }
 
 // dirtyBridges translates a partition-local affected set into the global
@@ -546,6 +685,49 @@ func (e *Engine) dirtyBridges(pt *part, localAff nodeset.Set, dirty *nodeset.Bui
 		gid := pt.globals[local]
 		if e.part.isOverlay(gid) {
 			dirty.Add(gid)
+		}
+	}
+}
+
+// settleOp folds one op's shard-side affected set into the dirty
+// overlay anchors.
+func (e *Engine) settleOp(op shard.Op, aff []uint32, dirty *nodeset.Builder) {
+	if op.Part < 0 || op.Kind == shard.OpNodeInsert {
+		return
+	}
+	e.dirtyBridges(e.part.parts[op.Part], aff, dirty)
+}
+
+// applyOps hands staged ops to the shards and settles their affected
+// sets. In-process shards receive only the ops they own, one batch in
+// op order; remote shards each receive the full stream (replica-only
+// ops included) in one RPC, overlapped across shards.
+func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
+	if len(ops) == 0 {
+		return
+	}
+	if !e.remote {
+		for _, op := range ops {
+			if op.Shard < 0 {
+				continue
+			}
+			// In-process shards are always *shard.Local; the single-op
+			// fast path keeps phase 2 allocation-free like the monolith.
+			if l, ok := e.shards[op.Shard].(*shard.Local); ok {
+				e.settleOp(op, l.ApplyOp(op), dirty)
+				continue
+			}
+			e.settleOp(op, e.shards[op.Shard].ApplyOps([]shard.Op{op})[0], dirty)
+		}
+		return
+	}
+	affs := make([][][]uint32, len(e.shards))
+	parallelFor(len(e.shards), len(e.shards), func(s int) {
+		affs[s] = e.shards[s].ApplyOps(ops)
+	})
+	for i, op := range ops {
+		if op.Shard >= 0 {
+			e.settleOp(op, affs[op.Shard][i], dirty)
 		}
 	}
 }
@@ -562,22 +744,23 @@ func (e *Engine) PreviewDeleteEdge(u, v uint32) nodeset.Set {
 func (e *Engine) DeleteEdge(u, v uint32) nodeset.Set {
 	aff := e.conservativeEdgeAffected(u, v)
 	var dirty nodeset.Builder
-	e.deleteEdgeStructural(u, v, &dirty)
+	e.applyOps([]shard.Op{e.stageDeleteEdge(u, v, &dirty)}, &dirty)
 	e.ov.recompute(dirty.Set(), e.workers)
 	e.invalidate()
 	return aff
 }
 
-// deleteEdgeStructural removes edge (u,v) from the partition structures
-// (the graph must already have dropped it), accumulating dirty anchors.
-func (e *Engine) deleteEdgeStructural(u, v uint32, dirty *nodeset.Builder) {
+// stageDeleteEdge removes edge (u,v) from the coordinator's partition
+// structures (the graph must already have dropped it), accumulating
+// dirty anchors, and returns the op for the owning shard.
+func (e *Engine) stageDeleteEdge(u, v uint32, dirty *nodeset.Builder) shard.Op {
+	op := shard.Op{Kind: shard.OpEdgeDelete, From: u, To: v, Part: -1, Shard: -1}
 	pu, pv := e.part.partIndex(u), e.part.partIndex(v)
 	if pu == pv {
 		pt := e.part.parts[pu]
 		lu, lv := e.part.localOf[u], e.part.localOf[v]
 		pt.sub.RemoveEdge(lu, lv)
-		intraAff := pt.eng.DeleteEdge(lu, lv)
-		e.dirtyBridges(pt, intraAff, dirty)
+		op.Part, op.Shard, op.LFrom, op.LTo = int(pu), int(e.shardOf[pu]), lu, lv
 		dirty.Add(u)
 		dirty.Add(v)
 	} else {
@@ -585,23 +768,26 @@ func (e *Engine) deleteEdgeStructural(u, v uint32, dirty *nodeset.Builder) {
 		dirty.Add(u)
 		dirty.Add(v)
 	}
+	return op
 }
 
 // InsertNode registers a freshly added (isolated) node.
 func (e *Engine) InsertNode(id uint32) nodeset.Set {
-	e.insertNodeStructural(id)
+	var dirty nodeset.Builder
+	e.applyOps([]shard.Op{e.stageInsertNode(id)}, &dirty)
 	e.invalidate()
 	return nodeset.New(id)
 }
 
-func (e *Engine) insertNodeStructural(id uint32) {
+// stageInsertNode registers id in its label's partition (creating the
+// partition — and its shard assignment — if needed) and returns the op
+// for the owning shard.
+func (e *Engine) stageInsertNode(id uint32) shard.Op {
 	pi := e.part.addToPart(id)
-	pt := e.part.parts[pi]
-	if pt.eng == nil {
-		pt.eng = e.part.newSubEngine(pt.sub, 1) // fresh partition: one node
-		pt.eng.Build()
-	} else {
-		pt.eng.InsertNode(e.part.localOf[id])
+	e.assignShards()
+	return shard.Op{
+		Kind: shard.OpNodeInsert, Node: id,
+		Part: int(pi), Shard: int(e.shardOf[pi]), Local: e.part.localOf[id],
 	}
 }
 
@@ -612,31 +798,12 @@ func (e *Engine) PreviewDeleteNode(id uint32) nodeset.Set {
 }
 
 // nodeAffected is read-only with pooled scratch, like
-// conservativeEdgeAffected.
+// conservativeEdgeAffected (shard.NodeAffected).
 func (e *Engine) nodeAffected(id uint32, outs, ins []uint32) nodeset.Set {
-	H := e.capHops()
-	g := e.part.g
 	gb := e.gballPool.Get().(*shortest.GraphBall)
-	var b nodeset.Builder
-	b.Add(id)
-	for _, y := range gb.Ball(g, id, H, false) {
-		b.Add(y)
-	}
-	for _, x := range gb.Ball(g, id, H, true) {
-		b.Add(x)
-	}
-	for _, v := range outs {
-		for _, y := range gb.Ball(g, v, H-1, false) {
-			b.Add(y)
-		}
-	}
-	for _, u := range ins {
-		for _, x := range gb.Ball(g, u, H-1, true) {
-			b.Add(x)
-		}
-	}
+	s := shard.NodeAffected(gb, e.part.g, id, outs, ins, e.horizon)
 	e.gballPool.Put(gb)
-	return b.Set()
+	return s
 }
 
 // DeleteNode synchronises the substrate after node id (with incident
@@ -652,16 +819,17 @@ func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
 	}
 	aff := e.nodeAffected(id, outs, ins)
 	var dirty nodeset.Builder
-	e.deleteNodeStructural(id, removed, &dirty)
+	e.applyOps([]shard.Op{e.stageDeleteNode(id, removed, &dirty)}, &dirty)
 	e.ov.recompute(dirty.Set(), e.workers)
 	e.invalidate()
 	return aff
 }
 
-// deleteNodeStructural removes node id from the partition structures
-// (the graph must already have dropped it and its incident edges,
-// passed as removed), accumulating dirty anchors.
-func (e *Engine) deleteNodeStructural(id uint32, removed []graph.Edge, dirty *nodeset.Builder) {
+// stageDeleteNode removes node id from the coordinator's partition
+// structures (the graph must already have dropped it and its incident
+// edges, passed as removed), accumulating dirty anchors, and returns
+// the op for the owning shard.
+func (e *Engine) stageDeleteNode(id uint32, removed []graph.Edge, dirty *nodeset.Builder) shard.Op {
 	pi := e.part.partIndex(id)
 	pt := e.part.parts[pi]
 	dirty.Add(id)
@@ -675,28 +843,43 @@ func (e *Engine) deleteNodeStructural(id uint32, removed []graph.Edge, dirty *no
 	}
 	local := e.part.localOf[id]
 	removedLocal, _ := pt.sub.RemoveNode(local)
-	intraAff := pt.eng.DeleteNode(local, removedLocal)
-	e.dirtyBridges(pt, intraAff, dirty)
 	e.part.partOf[id] = none
+	rl := make([]shard.Edge, len(removedLocal))
+	for i, ed := range removedLocal {
+		rl[i] = shard.Edge{From: ed.From, To: ed.To}
+	}
+	return shard.Op{
+		Kind: shard.OpNodeDelete, Node: id,
+		Part: int(pi), Shard: int(e.shardOf[pi]), Local: local, RemovedLocal: rl,
+	}
 }
 
 // EnsureHorizon widens a capped engine to cover bound k, rebuilding the
-// per-partition engines in parallel.
+// per-partition engines (shard-side) and the overlay.
 func (e *Engine) EnsureHorizon(k int) {
 	if e.horizon == 0 || k <= e.horizon {
 		return
 	}
 	e.horizon = k
 	e.part.horizon = k
-	parallelFor(e.workers, len(e.part.parts), func(i int) {
-		e.part.parts[i].eng.EnsureHorizon(k)
-	})
+	if e.remote {
+		parallelFor(len(e.shards), len(e.shards), func(i int) {
+			e.shards[i].EnsureHorizon(k)
+		})
+	} else {
+		for _, sh := range e.shards {
+			sh.EnsureHorizon(k)
+		}
+	}
 	e.ov.build(e.workers)
 	e.invalidate()
 }
 
 // CloneFor returns an independent copy of the engine operating on g2,
-// a clone of the engine's graph.
+// a clone of the engine's graph. In-process shards are deep-copied;
+// remote shards cannot be cloned (the worker holds the state), so the
+// clone collapses onto one freshly built in-process shard over the
+// coordinator's subgraph mirrors — same distances, local serving.
 func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 	c := &Engine{
 		horizon:        e.horizon,
@@ -708,36 +891,101 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 	c.initPools()
 	p := e.part
 	cp := &Partitioning{
-		g:              g2,
-		horizon:        p.horizon,
-		partOf:         append([]int32(nil), p.partOf...),
-		localOf:        append([]uint32(nil), p.localOf...),
-		byLabel:        make(map[graph.LabelID]int32, len(p.byLabel)),
-		crossOut:       append([]int32(nil), p.crossOut...),
-		crossIn:        append([]int32(nil), p.crossIn...),
-		denseThreshold: p.denseThreshold,
-		ellWidth:       p.ellWidth,
+		g:        g2,
+		horizon:  p.horizon,
+		partOf:   append([]int32(nil), p.partOf...),
+		localOf:  append([]uint32(nil), p.localOf...),
+		byLabel:  make(map[graph.LabelID]int32, len(p.byLabel)),
+		crossOut: append([]int32(nil), p.crossOut...),
+		crossIn:  append([]int32(nil), p.crossIn...),
 	}
 	for k, v := range p.byLabel {
 		cp.byLabel[k] = v
 	}
 	for _, pt := range p.parts {
-		sub := pt.sub.Clone()
 		cp.parts = append(cp.parts, &part{
 			label:   pt.label,
-			sub:     sub,
-			eng:     pt.eng.Clone(sub),
+			sub:     pt.sub.Clone(),
 			globals: append([]uint32(nil), pt.globals...),
 			exits:   append([]uint32(nil), pt.exits...),
 			entries: append([]uint32(nil), pt.entries...),
 		})
 	}
 	c.part = cp
-	c.ov = newOverlay(cp)
+	if e.remote {
+		l := shard.NewLocal(c.subOf)
+		c.shards = []shard.Shard{l}
+		c.shardOf = make([]int32, len(cp.parts))
+		all := make([]int, len(cp.parts))
+		for i := range all {
+			all[i] = i
+		}
+		l.Build(c.shardConfig(), 0, all, &engineSource{e: c})
+	} else {
+		c.shardOf = append([]int32(nil), e.shardOf...)
+		for _, sh := range e.shards {
+			c.shards = append(c.shards, sh.(*shard.Local).Clone(c.subOf))
+		}
+	}
+	c.ov = newOverlay(c)
 	c.ov.fwd = e.ov.fwd.Clone()
 	c.ov.rev = e.ov.rev.Clone()
 	return c
 }
 
-// compile-time interface check
-var _ shortest.DistanceEngine = (*Engine)(nil)
+// remoteAffected computes the batch's conservative affected balls on
+// the remote shards' data-graph replicas, slicing requests round-robin
+// across the shard fleet (each slice is one RPC, processed in parallel
+// worker-side). phase4 selects the insertion (post-state) pass;
+// otherwise the deletion (pre-state) pass runs.
+func (e *Engine) remoteAffected(ds []updates.Update, g *graph.Graph, phase4 bool, applied []bool, perUpdate []nodeset.Set) {
+	var reqs []shard.AffectedReq
+	var idx []int
+	for i, u := range ds {
+		if !phase4 {
+			switch u.Kind {
+			case updates.DataEdgeDelete:
+				if g.HasEdge(u.From, u.To) {
+					reqs = append(reqs, shard.AffectedReq{Kind: shard.OpEdgeDelete, From: u.From, To: u.To})
+					idx = append(idx, i)
+				}
+			case updates.DataNodeDelete:
+				if g.Alive(u.Node) {
+					reqs = append(reqs, shard.AffectedReq{Kind: shard.OpNodeDelete, Node: u.Node})
+					idx = append(idx, i)
+				}
+			}
+			continue
+		}
+		if !applied[i] {
+			continue
+		}
+		switch u.Kind {
+		case updates.DataEdgeInsert:
+			reqs = append(reqs, shard.AffectedReq{Kind: shard.OpEdgeInsert, From: u.From, To: u.To})
+			idx = append(idx, i)
+		case updates.DataNodeInsert:
+			perUpdate[i] = nodeset.New(u.Node)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	ns := len(e.shards)
+	slices := make([][]shard.AffectedReq, ns)
+	sliceIdx := make([][]int, ns)
+	for j := range reqs {
+		s := j % ns
+		slices[s] = append(slices[s], reqs[j])
+		sliceIdx[s] = append(sliceIdx[s], idx[j])
+	}
+	parallelFor(ns, ns, func(s int) {
+		if len(slices[s]) == 0 {
+			return
+		}
+		sets := e.shards[s].Affected(slices[s])
+		for k, set := range sets {
+			perUpdate[sliceIdx[s][k]] = set
+		}
+	})
+}

@@ -27,7 +27,12 @@ import (
 // per-source runs across a bounded worker pool and install the finished
 // rows from a single goroutine — fwd and rev are only ever mutated
 // serially.
+//
+// Intra-partition distances reach the overlay through the engine's
+// shard table (e.intraBall), so the Dijkstra works identically whether
+// the per-partition engines are in-process or remote.
 type overlay struct {
+	e        *Engine
 	p        *Partitioning
 	fwd, rev shortest.Matrix
 
@@ -39,8 +44,8 @@ type overlay struct {
 	oldVals []shortest.Dist
 }
 
-func newOverlay(p *Partitioning) *overlay {
-	o := &overlay{p: p}
+func newOverlay(e *Engine) *overlay {
+	o := &overlay{e: e, p: e.part}
 	o.scratch.New = func() interface{} { return new(dijkstraScratch) }
 	// Zero-row placeholders: build() allocates the real matrices (and
 	// CloneFor swaps in cloned ones), so sizing them here would only
@@ -105,8 +110,9 @@ func (o *overlay) neighbors(u uint32, fn func(v uint32, w shortest.Dist)) {
 		}
 	}
 	if p.isEntry(u) {
-		pt := p.parts[p.partOf[u]]
-		pt.eng.ForwardBall(p.localOf[u], o.cap(), func(local uint32, w shortest.Dist) bool {
+		pi := p.partOf[u]
+		pt := p.parts[pi]
+		o.e.intraBall(pi, p.localOf[u], o.cap(), false, func(local uint32, w shortest.Dist) bool {
 			gid := pt.globals[local]
 			if gid != u && p.isExit(gid) {
 				fn(gid, w)
@@ -128,8 +134,9 @@ func (o *overlay) revNeighbors(u uint32, fn func(v uint32, w shortest.Dist)) {
 		}
 	}
 	if p.isExit(u) {
-		pt := p.parts[p.partOf[u]]
-		pt.eng.ReverseBall(p.localOf[u], o.cap(), func(local uint32, w shortest.Dist) bool {
+		pi := p.partOf[u]
+		pt := p.parts[pi]
+		o.e.intraBall(pi, p.localOf[u], o.cap(), true, func(local uint32, w shortest.Dist) bool {
 			gid := pt.globals[local]
 			if gid != u && p.isEntry(gid) {
 				fn(gid, w)

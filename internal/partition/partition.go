@@ -27,19 +27,20 @@ import (
 	"sort"
 
 	"uagpnm/internal/graph"
-	"uagpnm/internal/shortest"
 )
 
 // none marks "no partition" for dead or unseen node ids.
 const none = int32(-1)
 
 // part is one label-based partition: the induced subgraph over its
-// members (intra edges only) plus a private SLen engine on it.
+// members (intra edges only). The subgraph is the coordinator's mirror
+// of the partition state; the partition's private SLen engine lives
+// behind the shard seam (internal/shard) and is reached through the
+// Engine's shard table.
 type part struct {
 	label   graph.LabelID
-	sub     *graph.Graph // local-id induced subgraph
-	eng     *shortest.Engine
-	globals []uint32 // local id → global id (tombstones preserved)
+	sub     *graph.Graph // local-id induced subgraph (coordinator mirror)
+	globals []uint32     // local id → global id (tombstones preserved)
 
 	// exits and entries hold the partition's bridge nodes by global id,
 	// sorted (exits = inner bridge nodes, entries = targets of inbound
@@ -63,20 +64,15 @@ type Partitioning struct {
 	// a node is an exit iff crossOut > 0 and an entry iff crossIn > 0.
 	crossOut []int32
 	crossIn  []int32
-
-	denseThreshold int
-	ellWidth       int
 }
 
-// newPartitioning builds the partition structure for g (subgraph engines
-// unbuilt; the caller builds them).
-func newPartitioning(g *graph.Graph, horizon, denseThreshold, ellWidth int) *Partitioning {
+// newPartitioning builds the partition structure for g (the intra
+// engines are the shards' to build; the Engine drives that).
+func newPartitioning(g *graph.Graph, horizon int) *Partitioning {
 	p := &Partitioning{
-		g:              g,
-		horizon:        horizon,
-		byLabel:        make(map[graph.LabelID]int32),
-		denseThreshold: denseThreshold,
-		ellWidth:       ellWidth,
+		g:       g,
+		horizon: horizon,
+		byLabel: make(map[graph.LabelID]int32),
 	}
 	n := g.NumIDs()
 	p.partOf = make([]int32, n)
@@ -182,44 +178,6 @@ func (p *Partitioning) partIndex(id uint32) int32 {
 		return none
 	}
 	return p.partOf[id]
-}
-
-// intraDist returns the shortest path length from x to y using only
-// edges inside their (shared) partition; Inf when they differ.
-func (p *Partitioning) intraDist(x, y uint32) shortest.Dist {
-	pi := p.partIndex(x)
-	if pi == none || pi != p.partIndex(y) {
-		return shortest.Inf
-	}
-	pt := p.parts[pi]
-	return pt.eng.Dist(p.localOf[x], p.localOf[y])
-}
-
-// newSubEngine creates one partition's intra SLen engine with the given
-// internal build fan-out.
-func (p *Partitioning) newSubEngine(sub *graph.Graph, subWorkers int) *shortest.Engine {
-	return shortest.NewEngine(sub, p.horizon,
-		shortest.WithDenseThreshold(p.denseThreshold),
-		shortest.WithELLWidth(p.ellWidth),
-		shortest.WithWorkers(subWorkers))
-}
-
-// buildEngines (re)builds every partition's intra SLen engine, one
-// partition per worker — partitions are disjoint, so the builds share
-// nothing but the read-only label table. The pool is split across the
-// two levels: with fewer partitions than workers, each sub-engine's BFS
-// build gets the leftover share, so a 2-partition graph on a 16-way
-// pool still builds 16-wide instead of 2-wide.
-func (p *Partitioning) buildEngines(workers int) {
-	sub := 1
-	if len(p.parts) > 0 && workers > len(p.parts) {
-		sub = (workers + len(p.parts) - 1) / len(p.parts)
-	}
-	parallelFor(workers, len(p.parts), func(i int) {
-		pt := p.parts[i]
-		pt.eng = p.newSubEngine(pt.sub, sub)
-		pt.eng.Build()
-	})
 }
 
 // InnerBridgeNodes returns IB(P) for the partition labelled lab, by

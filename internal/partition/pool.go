@@ -1,54 +1,14 @@
 package partition
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "uagpnm/internal/workpool"
 
-// parallelFor runs fn(i) for every i in [0,n) across at most workers
-// goroutines, returning when all calls have finished. workers ≤ 1 (or
-// n ≤ 1) degenerates to a plain serial loop with no goroutine or channel
-// overhead, so serial mode stays bit-for-bit the single-threaded engine.
-//
-// Work is handed out through an atomic counter rather than pre-sliced
-// ranges: per-item cost varies wildly here (partition sizes are
-// heavy-tailed, Dijkstra frontiers differ per source), and dynamic
-// claiming keeps the stragglers from serialising the tail.
 // ForEach is the exported face of the worker pool: it runs fn(i) for
 // every i in [0,n) across at most workers goroutines (workers ≤ 1 =
 // serial). Higher layers — the standing-query hub's per-pattern fan-out
 // in particular — reuse it so the whole system runs on one pool
 // discipline: dynamic claiming over an atomic counter, no goroutines
-// when serial. fn must be safe to call concurrently for distinct i.
-func ForEach(workers, n int, fn func(i int)) { parallelFor(workers, n, fn) }
+// when serial (see internal/workpool). fn must be safe to call
+// concurrently for distinct i.
+func ForEach(workers, n int, fn func(i int)) { workpool.ForEach(workers, n, fn) }
 
-func parallelFor(workers, n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+func parallelFor(workers, n int, fn func(i int)) { workpool.ForEach(workers, n, fn) }

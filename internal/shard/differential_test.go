@@ -1,0 +1,233 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"uagpnm/internal/core"
+	"uagpnm/internal/graph"
+	"uagpnm/internal/partition"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/updates"
+)
+
+// randomInstance builds a random labelled graph and a random pattern.
+func randomInstance(seed int64, n, m int) (*graph.Graph, *pattern.Graph) {
+	labels := []string{"A", "B", "C", "D", "E"}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	p := pattern.New(g.Labels())
+	ids := make([]pattern.NodeID, 3+rng.Intn(3))
+	for i := range ids {
+		ids[i] = p.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < len(ids)+1; i++ {
+		p.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], pattern.Bound(1+rng.Intn(3)))
+	}
+	return g, p
+}
+
+// rpcFleet spins up n in-process shard workers over real HTTP
+// (httptest) and returns clients for them.
+func rpcFleet(t testing.TB, n int) []shard.Shard {
+	t.Helper()
+	shs := make([]shard.Shard, n)
+	for i := range shs {
+		srv := shard.NewServer()
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		shs[i] = shard.Dial(ts.URL)
+	}
+	return shs
+}
+
+// shardedEngines builds, over clones of g, every engine variant the
+// suite compares: the single-shard engine (the monolith re-expressed),
+// a 3-way in-process split, and a 2-worker RPC fleet. Each comes with
+// its own graph clone so batches replay independently.
+type engineUnderTest struct {
+	name string
+	g    *graph.Graph
+	eng  *partition.Engine
+}
+
+func shardedEngines(t testing.TB, g *graph.Graph, horizon, workers int) []engineUnderTest {
+	t.Helper()
+	variants := []struct {
+		name string
+		opts func() []partition.Option
+	}{
+		{"mono", func() []partition.Option { return nil }},
+		{"local3", func() []partition.Option { return []partition.Option{partition.WithLocalShards(3)} }},
+		{"rpc2", func() []partition.Option { return []partition.Option{partition.WithShards(rpcFleet(t, 2)...)} }},
+	}
+	outs := make([]engineUnderTest, len(variants))
+	for i, v := range variants {
+		g2 := g.Clone()
+		opts := append(v.opts(), partition.WithWorkers(workers))
+		e := partition.NewEngine(g2, horizon, opts...)
+		e.Build()
+		outs[i] = engineUnderTest{name: v.name, g: g2, eng: e}
+	}
+	return outs
+}
+
+// TestShardedEngineDifferential is the sharding ground-truth suite: a
+// randomized update-batch sequence driven through (1) a Scratch
+// session, (2) the single-shard UA-GPNM engine, (3) a 3-way in-process
+// shard split and (4) a 2-worker RPC shard fleet over real HTTP must
+// leave identical SQuery results after every batch, at serial and wide
+// worker bounds. Run under -race (the tier-1 gate does) to also prove
+// the read-epoch discipline across the shard seam.
+func TestShardedEngineDifferential(t *testing.T) {
+	trials, rounds := 3, 4
+	if testing.Short() {
+		trials, rounds = 1, 3
+	}
+	for _, workers := range []int{1, 4} {
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(61000 + trial)
+			g, p := randomInstance(seed, 40, 110)
+
+			ref := core.NewSession(g.Clone(), p.Clone(),
+				core.Config{Method: core.Scratch, Horizon: 3})
+			euts := shardedEngines(t, g, 3, workers)
+			sessions := make([]*core.Session, len(euts))
+			for i, eut := range euts {
+				sessions[i] = core.NewSessionWith(eut.g, p.Clone(), eut.eng,
+					core.Config{Method: core.UAGPNM, Horizon: 3, Workers: workers})
+				if !sessions[i].Match.Equal(ref.Match) {
+					t.Fatalf("workers=%d trial=%d %s: IQuery diverges from Scratch", workers, trial, eut.name)
+				}
+			}
+
+			for round := 0; round < rounds; round++ {
+				batch := updates.Generate(
+					updates.Balanced(seed*13+int64(round), 2, 12), ref.G, ref.P)
+				want := ref.SQuery(batch)
+				for i, eut := range euts {
+					got := sessions[i].SQuery(batch)
+					if !got.Equal(want) {
+						t.Fatalf("workers=%d trial=%d round=%d %s: diverges from Scratch\nbatch D=%v P=%v",
+							workers, trial, round, eut.name, batch.D, batch.P)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedOracleAgreement spot-checks the distance oracle itself —
+// Dist, ForwardBall, ReverseBall — across the three shard layouts after
+// a mutation sequence, pinning that the seam preserves the substrate
+// (not only the match results derived from it).
+func TestShardedOracleAgreement(t *testing.T) {
+	seed := int64(4711)
+	g, _ := randomInstance(seed, 35, 100)
+	euts := shardedEngines(t, g, 3, 2)
+	rng := rand.New(rand.NewSource(seed))
+
+	applyEverywhere := func(u updates.Update) {
+		for _, eut := range euts {
+			updates.ApplyData(u, eut.g, eut.eng)
+		}
+	}
+	var live []uint32
+	g.Nodes(func(id uint32) { live = append(live, id) })
+	for step := 0; step < 25; step++ {
+		u := live[rng.Intn(len(live))]
+		v := live[rng.Intn(len(live))]
+		if u != v && !euts[0].g.HasEdge(u, v) {
+			applyEverywhere(updates.Update{Kind: updates.DataEdgeInsert, From: u, To: v})
+		}
+		if out := euts[0].g.Out(u); len(out) > 0 && step%3 == 0 {
+			applyEverywhere(updates.Update{Kind: updates.DataEdgeDelete, From: u, To: out[rng.Intn(len(out))]})
+		}
+	}
+
+	n := euts[0].g.NumIDs()
+	for x := uint32(0); int(x) < n; x++ {
+		for y := uint32(0); int(y) < n; y++ {
+			d0 := euts[0].eng.Dist(x, y)
+			for _, eut := range euts[1:] {
+				if d := eut.eng.Dist(x, y); d != d0 {
+					t.Fatalf("%s: Dist(%d,%d) = %v, mono says %v", eut.name, x, y, d, d0)
+				}
+			}
+		}
+		row0 := ballRow(euts[0].eng, x)
+		for _, eut := range euts[1:] {
+			if row := ballRow(eut.eng, x); row != row0 {
+				t.Fatalf("%s: ball rows of %d diverge:\n  mono: %s\n  %s: %s",
+					eut.name, x, row0, eut.name, row)
+			}
+		}
+	}
+}
+
+func ballRow(e *partition.Engine, x uint32) string {
+	out := ""
+	e.ForwardBall(x, 3, func(v uint32, d shortest.Dist) bool {
+		out += fmt.Sprintf("f%d:%d ", v, d)
+		return true
+	})
+	e.ReverseBall(x, 3, func(v uint32, d shortest.Dist) bool {
+		out += fmt.Sprintf("r%d:%d ", v, d)
+		return true
+	})
+	return out
+}
+
+// TestRPCShardCloneFor pins the documented CloneFor fallback: cloning a
+// remote-shard engine collapses onto a freshly built in-process shard
+// with identical distances (Session.Fork on a sharded session depends
+// on this).
+func TestRPCShardCloneFor(t *testing.T) {
+	g, _ := randomInstance(99, 30, 80)
+	e := partition.NewEngine(g, 3, partition.WithShards(rpcFleet(t, 2)...))
+	e.Build()
+	g2 := g.Clone()
+	c := e.CloneFor(g2).(*partition.Engine)
+	if c.Remote() {
+		t.Fatal("clone of a remote-shard engine should be in-process")
+	}
+	n := g.NumIDs()
+	for x := uint32(0); int(x) < n; x++ {
+		for y := uint32(0); int(y) < n; y++ {
+			if a, b := e.Dist(x, y), c.Dist(x, y); a != b {
+				t.Fatalf("clone Dist(%d,%d) = %v, original %v", x, y, b, a)
+			}
+		}
+	}
+	// And the clone maintains independently.
+	var u, v uint32
+	found := false
+	g2.Nodes(func(a uint32) {
+		if found {
+			return
+		}
+		g2.Nodes(func(b uint32) {
+			if !found && a != b && !g2.HasEdge(a, b) {
+				u, v, found = a, b, true
+			}
+		})
+	})
+	if !found {
+		t.Skip("graph saturated")
+	}
+	g2.AddEdge(u, v)
+	c.InsertEdge(u, v)
+	if got := c.Dist(u, v); got != 1 {
+		t.Fatalf("clone Dist(%d,%d) after insert = %v, want 1", u, v, got)
+	}
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"fmt"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/workpool"
+)
+
+// Local is the in-process Shard: it reads the coordinator's own
+// partition subgraphs (shared pointers, never copies) and owns only the
+// per-partition SLen engines. A coordinator with one Local shard is
+// exactly the monolithic engine, re-expressed through the seam.
+type Local struct {
+	cfg Config
+	sub func(part int) *graph.Graph // coordinator's subgraph accessor
+
+	engs []*shortest.Engine // part index → intra engine (nil: not owned/built)
+}
+
+// NewLocal returns an in-process shard reading partition subgraphs
+// through sub. The same accessor serves partitions created later.
+func NewLocal(sub func(part int) *graph.Graph) *Local {
+	return &Local{sub: sub}
+}
+
+// Remote reports false: ops reach a Local shard only when it owns the
+// touched partition, and affected balls stay on the coordinator.
+func (l *Local) Remote() bool { return false }
+
+func (l *Local) growTo(part int) {
+	for len(l.engs) <= part {
+		l.engs = append(l.engs, nil)
+	}
+}
+
+// Owns reports whether the shard holds a built engine for part.
+func (l *Local) Owns(part int) bool {
+	return part >= 0 && part < len(l.engs) && l.engs[part] != nil
+}
+
+func (l *Local) eng(part int) *shortest.Engine {
+	if part >= len(l.engs) || l.engs[part] == nil {
+		panic(fmt.Sprintf("shard: partition %d not owned/built by this local shard", part))
+	}
+	return l.engs[part]
+}
+
+// newEngine builds one partition's intra engine with the given internal
+// build fan-out.
+//
+// The engines default to the hybrid sparse backend even for small
+// partitions when cfg.DenseThreshold is 0: stitched queries iterate
+// intra rows constantly, and hybrid rows cost O(ball) per scan where
+// dense rows cost O(|Pi|).
+func (l *Local) newEngine(sub *graph.Graph, subWorkers int) *shortest.Engine {
+	return shortest.NewEngine(sub, l.cfg.Horizon,
+		shortest.WithDenseThreshold(l.cfg.DenseThreshold),
+		shortest.WithELLWidth(l.cfg.ELLWidth),
+		shortest.WithWorkers(subWorkers))
+}
+
+// Build (re)builds the owned partitions' engines, one partition per
+// worker — partitions are disjoint, so the builds share nothing but
+// the read-only label table. The pool is split across the two levels:
+// with fewer partitions than workers, each engine's BFS build gets the
+// leftover share, so a 2-partition graph on a 16-way pool still builds
+// 16-wide instead of 2-wide.
+func (l *Local) Build(cfg Config, index int, owned []int, src Source) {
+	l.cfg = cfg
+	for _, p := range owned {
+		l.growTo(p)
+	}
+	workers := cfg.Workers
+	subShare := 1
+	if len(owned) > 0 && workers > len(owned) {
+		subShare = (workers + len(owned) - 1) / len(owned)
+	}
+	workpool.ForEach(workers, len(owned), func(i int) {
+		p := owned[i]
+		e := l.newEngine(l.sub(p), subShare)
+		e.Build()
+		l.engs[p] = e
+	})
+}
+
+// EnsureHorizon widens every owned engine to cover bound k, one
+// partition per worker.
+func (l *Local) EnsureHorizon(k int) {
+	if l.cfg.Horizon == 0 || k <= l.cfg.Horizon {
+		return
+	}
+	l.cfg.Horizon = k
+	workpool.ForEach(l.cfg.Workers, len(l.engs), func(i int) {
+		if l.engs[i] != nil {
+			l.engs[i].EnsureHorizon(k)
+		}
+	})
+}
+
+// Dist returns the intra distance between two locals of an owned
+// partition.
+func (l *Local) Dist(part int, x, y uint32) shortest.Dist {
+	return l.eng(part).Dist(x, y)
+}
+
+// Ball visits the intra ball of src in ascending local-id order.
+func (l *Local) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
+	e := l.eng(part)
+	if reverse {
+		e.ReverseBall(src, maxD, fn)
+		return
+	}
+	e.ForwardBall(src, maxD, fn)
+}
+
+// ApplyOp synchronises the owning engine after one structural mutation
+// (the shared subgraph already reflects it) and returns the local
+// affected set — the allocation-free fast path the coordinator's
+// in-process per-op loop uses directly. Replica-only ops (Part < 0)
+// are skipped: the coordinator's graph is this shard's replica.
+func (l *Local) ApplyOp(op Op) []uint32 {
+	if op.Part < 0 {
+		return nil
+	}
+	switch op.Kind {
+	case OpEdgeInsert:
+		return l.eng(op.Part).InsertEdge(op.LFrom, op.LTo)
+	case OpEdgeDelete:
+		return l.eng(op.Part).DeleteEdge(op.LFrom, op.LTo)
+	case OpNodeInsert:
+		l.growTo(op.Part)
+		if l.engs[op.Part] == nil {
+			// Fresh partition: one node, serial build.
+			e := l.newEngine(l.sub(op.Part), 1)
+			e.Build()
+			l.engs[op.Part] = e
+		} else {
+			l.engs[op.Part].InsertNode(op.Local)
+		}
+		return []uint32{op.Local}
+	case OpNodeDelete:
+		removed := make([]graph.Edge, len(op.RemovedLocal))
+		for j, e := range op.RemovedLocal {
+			removed[j] = graph.Edge{From: e.From, To: e.To}
+		}
+		return l.eng(op.Part).DeleteNode(op.Local, removed)
+	}
+	return nil
+}
+
+// ApplyOps is the batch form of ApplyOp (the Shard interface surface).
+func (l *Local) ApplyOps(ops []Op) [][]uint32 {
+	aff := make([][]uint32, len(ops))
+	for i, op := range ops {
+		aff[i] = l.ApplyOp(op)
+	}
+	return aff
+}
+
+// Affected is never routed to in-process shards: the coordinator holds
+// the data graph and computes conservative balls directly.
+func (l *Local) Affected(reqs []AffectedReq) []nodeset.Set {
+	panic("shard: Affected on an in-process shard (coordinator computes balls locally)")
+}
+
+// Clone deep-copies the shard for an engine clone operating on cloned
+// subgraphs (reachable through sub2).
+func (l *Local) Clone(sub2 func(part int) *graph.Graph) *Local {
+	c := &Local{cfg: l.cfg, sub: sub2, engs: make([]*shortest.Engine, len(l.engs))}
+	for i, e := range l.engs {
+		if e != nil {
+			c.engs[i] = e.Clone(sub2(i))
+		}
+	}
+	return c
+}
+
+// Close is a no-op for in-process shards.
+func (l *Local) Close() error { return nil }
+
+var _ Shard = (*Local)(nil)

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+)
+
+// TransportError is the panic value an RPC shard raises when the worker
+// cannot be reached or answers with an error after retries — the
+// coordinator's DistanceEngine surface has no error channel, and a
+// session that lost a shard's intra state cannot answer correctly
+// (failover is a ROADMAP item).
+type TransportError struct {
+	Addr string
+	Op   string
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("shard %s: %s: %v", e.Addr, e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RPC fronts one shard worker process (cmd/gpnm-shard) over HTTP/JSON.
+//
+// Reads cache aggressively: Ball and Dist are served from full-horizon
+// intra rows fetched once per (partition, source, direction) and kept
+// until the next mutation — the coordinator's query patterns (overlay
+// Dijkstras, stitched rows, the matching fixpoint) re-read the same
+// rows many times per epoch, so the row cache turns per-query RPCs
+// into per-row ones. The cache is safe for the engine's concurrent
+// read epochs; every mutating call drops it wholesale.
+type RPC struct {
+	base string
+	hc   *http.Client
+
+	mu   sync.Mutex
+	rows map[rowKey][]rowEntry
+}
+
+type rowKey struct {
+	part    int
+	src     uint32
+	reverse bool
+}
+
+type rowEntry struct {
+	node uint32
+	d    shortest.Dist
+}
+
+// ParseAddrs splits a comma-separated -shards flag value into worker
+// addresses, trimming whitespace and dropping empties — the one parser
+// every binary taking the flag shares.
+func ParseAddrs(spec string) []string {
+	var addrs []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// Dial returns a client for the worker at addr ("host:port" or a full
+// http:// URL). It performs no I/O; the first call does.
+func Dial(addr string) *RPC {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &RPC{
+		base: base,
+		hc:   &http.Client{}, // per-request deadlines set in post()
+		rows: make(map[rowKey][]rowEntry),
+	}
+}
+
+// reqTimeout picks the deadline for one request. Reads and op streams
+// are bounded snugly; /build runs a full remote intra-engine rebuild —
+// exactly the superlinear work sharding exists to spread — so it gets
+// room to finish on sharding-scale graphs instead of being declared
+// dead (and pointlessly restarted) by a blanket client timeout.
+func reqTimeout(path string) time.Duration {
+	switch path {
+	case "/build", "/horizon":
+		return 4 * time.Hour
+	default:
+		return 5 * time.Minute
+	}
+}
+
+// Addr returns the worker's base URL.
+func (r *RPC) Addr() string { return r.base }
+
+// Remote reports true: this shard needs the full op stream (replica
+// maintenance) and serves Affected off its replica.
+func (r *RPC) Remote() bool { return true }
+
+// post sends one JSON request, retrying transient transport failures,
+// and decodes the response into out. Worker-side errors (non-2xx) are
+// not retried — they signal state divergence, not a flaky network.
+// Retrying a non-idempotent /ops whose response was lost re-applies
+// the batch; the worker's replica then rejects the duplicate mutation
+// and the coordinator fails loudly rather than diverging silently.
+func (r *RPC) post(op, path string, in, out interface{}) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		panic(&TransportError{Addr: r.base, Op: op, Err: err})
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), reqTimeout(path))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			panic(&TransportError{Addr: r.base, Op: op, Err: err})
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			cancel()
+			last = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			panic(&TransportError{Addr: r.base, Op: op,
+				Err: fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))})
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				panic(&TransportError{Addr: r.base, Op: op, Err: err})
+			}
+		}
+		return
+	}
+	panic(&TransportError{Addr: r.base, Op: op, Err: last})
+}
+
+func (r *RPC) dropRows() {
+	r.mu.Lock()
+	r.rows = make(map[rowKey][]rowEntry)
+	r.mu.Unlock()
+}
+
+// Build ships the coordinator's snapshots — the owned partitions'
+// subgraphs plus the full data-graph adjacency — and blocks until the
+// worker has built its intra engines.
+func (r *RPC) Build(cfg Config, index int, owned []int, src Source) {
+	req := buildRequest{Config: cfg, Index: index, Graph: src.GraphSnapshot()}
+	for _, p := range owned {
+		req.Parts = append(req.Parts, src.PartSnapshot(p))
+	}
+	r.post("build", "/build", req, nil)
+	r.dropRows()
+}
+
+// EnsureHorizon widens the worker's engines to cover bound k.
+func (r *RPC) EnsureHorizon(k int) {
+	r.post("horizon", "/horizon", map[string]int{"k": k}, nil)
+	r.dropRows()
+}
+
+// row returns the cached full-horizon intra row, fetching on a miss.
+// Concurrent misses on one key may fetch twice; the rows are identical
+// and the second install overwrites harmlessly.
+func (r *RPC) row(part int, src uint32, reverse bool) []rowEntry {
+	key := rowKey{part, src, reverse}
+	r.mu.Lock()
+	row, ok := r.rows[key]
+	r.mu.Unlock()
+	if ok {
+		return row
+	}
+	var resp rowResponse
+	r.post("row", "/row", map[string]interface{}{
+		"part": part, "src": src, "reverse": reverse,
+	}, &resp)
+	row = make([]rowEntry, len(resp.Nodes))
+	for i, n := range resp.Nodes {
+		row[i] = rowEntry{n, resp.Dists[i]}
+	}
+	r.mu.Lock()
+	r.rows[key] = row
+	r.mu.Unlock()
+	return row
+}
+
+// Dist answers an intra distance off the cached forward row of x.
+func (r *RPC) Dist(part int, x, y uint32) shortest.Dist {
+	row := r.row(part, x, false)
+	i := sort.Search(len(row), func(i int) bool { return row[i].node >= y })
+	if i < len(row) && row[i].node == y {
+		return row[i].d
+	}
+	return shortest.Inf
+}
+
+// Ball visits the intra ball of src (ascending local id) from the
+// cached full-horizon row.
+func (r *RPC) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
+	if maxD < 0 {
+		return
+	}
+	for _, en := range r.row(part, src, reverse) {
+		if int(en.d) > maxD {
+			continue
+		}
+		if !fn(en.node, en.d) {
+			return
+		}
+	}
+}
+
+// ApplyOps streams one ordered op batch to the worker and returns the
+// per-op affected sets of the partitions this worker owns.
+func (r *RPC) ApplyOps(ops []Op) [][]uint32 {
+	var resp opsResponse
+	r.post("ops", "/ops", map[string]interface{}{"ops": ops}, &resp)
+	r.dropRows()
+	if len(resp.Aff) != len(ops) {
+		panic(&TransportError{Addr: r.base, Op: "ops",
+			Err: fmt.Errorf("worker answered %d affected sets for %d ops", len(resp.Aff), len(ops))})
+	}
+	return resp.Aff
+}
+
+// Affected computes conservative balls against the worker's data-graph
+// replica.
+func (r *RPC) Affected(reqs []AffectedReq) []nodeset.Set {
+	var resp affectedResponse
+	r.post("affected", "/affected", map[string]interface{}{"reqs": reqs}, &resp)
+	if len(resp.Sets) != len(reqs) {
+		panic(&TransportError{Addr: r.base, Op: "affected",
+			Err: fmt.Errorf("worker answered %d sets for %d requests", len(resp.Sets), len(reqs))})
+	}
+	out := make([]nodeset.Set, len(resp.Sets))
+	for i, s := range resp.Sets {
+		out[i] = nodeset.Set(s)
+	}
+	return out
+}
+
+// Close drops cached rows and idle connections; the worker process
+// stays up for the next coordinator.
+func (r *RPC) Close() error {
+	r.dropRows()
+	r.hc.CloseIdleConnections()
+	return nil
+}
+
+var _ Shard = (*RPC)(nil)

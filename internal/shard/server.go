@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/srvutil"
+	"uagpnm/internal/workpool"
+)
+
+// Server is the worker side of the shard protocol: the state one
+// cmd/gpnm-shard process holds for one coordinator, behind an HTTP/JSON
+// handler the RPC client speaks to.
+//
+// The worker replicates two things from the coordinator's op stream:
+// the induced subgraphs of the partitions it owns — whose intra SLen
+// engines (the superlinear state sharding exists to spread) it serves
+// through an embedded Local shard, so the engine-maintenance logic is
+// written exactly once — and the full data-graph *adjacency* (linear,
+// label-less), which lets the coordinator fan the batch's conservative
+// affected-ball computation (ApplyDataBatch phases 1 and 4) across the
+// shard fleet instead of running every ball itself.
+//
+// One worker serves one coordinator at a time: /build resets all state
+// unconditionally, so a fresh coordinator simply claims the worker.
+type Server struct {
+	mu sync.RWMutex // build/ops exclusive; row/dist/affected shared
+
+	cfg     Config
+	index   int                  // this worker's position in the coordinator's shard table
+	replica *graph.Graph         // full data-graph adjacency replica
+	subs    map[int]*graph.Graph // owned partitions' subgraph replicas
+	local   *Local               // the intra engines over subs
+
+	gballPool sync.Pool
+}
+
+// NewServer returns an empty worker; /build initialises it.
+func NewServer() *Server {
+	s := &Server{subs: make(map[int]*graph.Graph)}
+	s.local = NewLocal(s.subOf)
+	s.gballPool.New = func() interface{} { return shortest.NewGraphBall() }
+	return s
+}
+
+// subOf is the subgraph accessor the embedded Local shard reads through.
+func (s *Server) subOf(part int) *graph.Graph { return s.subs[part] }
+
+// Handler returns the worker's endpoint table:
+//
+//	GET  /healthz   liveness + owned-partition count
+//	POST /build     reset + build from coordinator snapshots
+//	POST /horizon   widen every intra engine to a new hop cap
+//	POST /row       one full-horizon intra row (part, src, reverse)
+//	POST /ops       apply one ordered op batch, returns affected sets
+//	POST /affected  conservative balls against the data-graph replica
+//
+// There is no point-distance endpoint: the client answers Dist (and
+// every ball) from the cached full-horizon /row, which the engine's
+// query patterns re-read many times per epoch anyway.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /build", s.handleBuild)
+	mux.HandleFunc("POST /horizon", s.handleHorizon)
+	mux.HandleFunc("POST /row", s.handleRow)
+	mux.HandleFunc("POST /ops", s.handleOps)
+	mux.HandleFunc("POST /affected", s.handleAffected)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	built := s.replica != nil
+	parts := len(s.subs)
+	idx := s.index
+	s.mu.RUnlock()
+	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"ok": true, "built": built, "parts": parts, "index": idx,
+	})
+}
+
+// buildRequest carries the coordinator state a worker replicates.
+type buildRequest struct {
+	Config Config     `json:"config"`
+	Index  int        `json:"index"`
+	Graph  Snapshot   `json:"graph"`
+	Parts  []Snapshot `json:"parts"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	var req buildRequest
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = req.Config
+	s.index = req.Index
+	s.replica = req.Graph.Materialise()
+	s.subs = make(map[int]*graph.Graph, len(req.Parts))
+	owned := make([]int, 0, len(req.Parts))
+	for _, snap := range req.Parts {
+		s.subs[snap.Part] = snap.Materialise()
+		owned = append(owned, snap.Part)
+	}
+	s.local = NewLocal(s.subOf)
+	s.local.Build(req.Config, req.Index, owned, nil)
+	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "parts": len(s.subs)})
+}
+
+func (s *Server) handleHorizon(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		K int `json:"k"`
+	}
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Horizon != 0 && req.K > s.cfg.Horizon {
+		s.cfg.Horizon = req.K
+		s.local.EnsureHorizon(req.K)
+	}
+	srvutil.WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// rowResponse is one full-horizon intra row.
+type rowResponse struct {
+	Nodes []uint32        `json:"nodes"`
+	Dists []shortest.Dist `json:"dists"`
+}
+
+func (s *Server) handleRow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Part    int    `json:"part"`
+		Src     uint32 `json:"src"`
+		Reverse bool   `json:"reverse"`
+	}
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.local.Owns(req.Part) {
+		srvutil.WriteError(w, http.StatusNotFound, "partition %d not owned by this worker", req.Part)
+		return
+	}
+	var resp rowResponse
+	s.local.Ball(req.Part, req.Src, capHops(s.cfg.Horizon), req.Reverse,
+		func(v uint32, d shortest.Dist) bool {
+			resp.Nodes = append(resp.Nodes, v)
+			resp.Dists = append(resp.Dists, d)
+			return true
+		})
+	srvutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+// opsResponse carries, aligned by op index, the local affected set of
+// every op this worker owns (null otherwise).
+type opsResponse struct {
+	Aff [][]uint32 `json:"aff"`
+}
+
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ops []Op `json:"ops"`
+	}
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replica == nil {
+		srvutil.WriteError(w, http.StatusConflict, "worker not built")
+		return
+	}
+	resp := opsResponse{Aff: make([][]uint32, len(req.Ops))}
+	for i, op := range req.Ops {
+		aff, err := s.applyOp(op)
+		if err != nil {
+			srvutil.WriteError(w, http.StatusConflict, "op %d (%v): %v", i, op.Kind, err)
+			return
+		}
+		resp.Aff[i] = aff
+	}
+	srvutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+// applyOp advances the data-graph replica by the op's global-id view
+// and, when this worker owns the touched partition, mirrors the op
+// into the partition subgraph and hands it to the embedded Local shard
+// — the same graph-first-engine-second order the coordinator uses, and
+// the same engine-maintenance code path (Local.ApplyOps).
+func (s *Server) applyOp(op Op) ([]uint32, error) {
+	mine := op.Shard == s.index && op.Part >= 0
+	switch op.Kind {
+	case OpEdgeInsert:
+		if !s.replica.AddEdge(op.From, op.To) {
+			return nil, fmt.Errorf("replica rejected edge insert %d->%d", op.From, op.To)
+		}
+		if !mine {
+			return nil, nil
+		}
+		if !s.local.Owns(op.Part) {
+			return nil, fmt.Errorf("partition %d not owned/built", op.Part)
+		}
+		s.subs[op.Part].AddEdge(op.LFrom, op.LTo)
+	case OpEdgeDelete:
+		if !s.replica.RemoveEdge(op.From, op.To) {
+			return nil, fmt.Errorf("replica rejected edge delete %d->%d", op.From, op.To)
+		}
+		if !mine {
+			return nil, nil
+		}
+		if !s.local.Owns(op.Part) {
+			return nil, fmt.Errorf("partition %d not owned/built", op.Part)
+		}
+		s.subs[op.Part].RemoveEdge(op.LFrom, op.LTo)
+	case OpNodeInsert:
+		if id := s.replica.AddNodeLabelIDs(); id != op.Node {
+			return nil, fmt.Errorf("replica assigned node id %d, coordinator expected %d", id, op.Node)
+		}
+		if !mine {
+			return nil, nil
+		}
+		sub, ok := s.subs[op.Part]
+		if !ok {
+			// A node insert founded a new partition assigned to us;
+			// Local.ApplyOps builds its engine from this fresh subgraph.
+			sub = graph.New(nil)
+			s.subs[op.Part] = sub
+		}
+		if local := sub.AddNodeLabelIDs(); local != op.Local {
+			return nil, fmt.Errorf("partition %d assigned local id %d, coordinator expected %d", op.Part, local, op.Local)
+		}
+	case OpNodeDelete:
+		if _, ok := s.replica.RemoveNode(op.Node); !ok {
+			return nil, fmt.Errorf("replica rejected node delete %d", op.Node)
+		}
+		if !mine {
+			return nil, nil
+		}
+		if !s.local.Owns(op.Part) {
+			return nil, fmt.Errorf("partition %d not owned/built", op.Part)
+		}
+		// Local.ApplyOps replays op.RemovedLocal against the engine; the
+		// mirror removal here yields the same edge set by construction.
+		s.subs[op.Part].RemoveNode(op.Local)
+	default:
+		return nil, fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return s.local.ApplyOp(op), nil
+}
+
+// affectedResponse carries one conservative ball per request.
+type affectedResponse struct {
+	Sets [][]uint32 `json:"sets"`
+}
+
+func (s *Server) handleAffected(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Reqs []AffectedReq `json:"reqs"`
+	}
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.replica == nil {
+		srvutil.WriteError(w, http.StatusConflict, "worker not built")
+		return
+	}
+	resp := affectedResponse{Sets: make([][]uint32, len(req.Reqs))}
+	workpool.ForEach(s.cfg.Workers, len(req.Reqs), func(i int) {
+		gb := s.gballPool.Get().(*shortest.GraphBall)
+		resp.Sets[i] = s.affected(gb, req.Reqs[i])
+		s.gballPool.Put(gb)
+	})
+	srvutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) affected(gb *shortest.GraphBall, req AffectedReq) nodeset.Set {
+	switch req.Kind {
+	case OpEdgeInsert, OpEdgeDelete:
+		return EdgeAffected(gb, s.replica, req.From, req.To, s.cfg.Horizon)
+	case OpNodeDelete:
+		return NodeAffected(gb, s.replica, req.Node,
+			s.replica.Out(req.Node), s.replica.In(req.Node), s.cfg.Horizon)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package shard defines the seam the §V partition engine is served
+// through: a Shard owns the intra-partition SLen state (the
+// per-partition distance engines — the superlinear part of the
+// substrate) for a subset of the partitions, while the coordinator
+// (internal/partition.Engine) keeps the partition bookkeeping, the
+// bridge overlay, the stitched-row caches and the data graph itself.
+//
+// Two implementations exist:
+//
+//   - Local runs in the coordinator's process and reads the
+//     coordinator's own partition subgraphs directly — the in-process
+//     path, a pure extraction of what the monolithic engine did.
+//   - RPC fronts a shard worker process (cmd/gpnm-shard) over
+//     HTTP/JSON; Server is the worker side. The worker holds replicas
+//     of its partitions' subgraphs (and of the data-graph adjacency,
+//     so conservative affected-set balls can be computed remotely) and
+//     keeps them in sync from the coordinator's op stream.
+//
+// Contract: the coordinator mutates its own structures first (data
+// graph, partition subgraph mirrors, bridge bookkeeping) and then
+// hands each mutation to the owning shard as an Op; the shard applies
+// the op to any replica it keeps and synchronises its intra engines,
+// returning the partition-local affected set. Reads (Dist, Ball) are
+// safe for any number of concurrent goroutines between mutations —
+// the read-epoch discipline documented on partition.Engine extends
+// through this interface.
+package shard
+
+import (
+	"uagpnm/internal/graph"
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shortest"
+)
+
+// Config carries the engine parameters every shard needs to build and
+// maintain its intra engines.
+type Config struct {
+	Horizon        int `json:"horizon"` // SLen hop cap (0 = exact)
+	DenseThreshold int `json:"dense_threshold"`
+	ELLWidth       int `json:"ell_width"`
+	Workers        int `json:"workers"` // per-shard worker pool bound
+}
+
+// Edge is a directed edge in a (local- or global-id) node space.
+type Edge struct {
+	From uint32 `json:"f"`
+	To   uint32 `json:"t"`
+}
+
+// Snapshot serialises one graph — a partition's induced subgraph or
+// the whole data-graph adjacency — for remote shard builds. Node ids
+// are implicit: every id < NumIDs exists, ids listed in Dead are
+// tombstoned. Labels are not carried; intra SLen and conservative
+// balls are label-blind.
+type Snapshot struct {
+	Part   int      `json:"part"` // partition index (-1 for the data graph)
+	NumIDs int      `json:"num_ids"`
+	Dead   []uint32 `json:"dead,omitempty"`
+	Edges  []Edge   `json:"edges,omitempty"`
+}
+
+// Materialise rebuilds the snapshot as a fresh graph (label-less).
+func (s Snapshot) Materialise() *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < s.NumIDs; i++ {
+		g.AddNodeLabelIDs()
+	}
+	for _, d := range s.Dead {
+		g.RemoveNode(d)
+	}
+	for _, e := range s.Edges {
+		g.AddEdge(e.From, e.To)
+	}
+	return g
+}
+
+// Snap captures g as a Snapshot tagged with the given part index.
+func Snap(part int, g *graph.Graph) Snapshot {
+	s := Snapshot{Part: part, NumIDs: g.NumIDs()}
+	for id := 0; id < s.NumIDs; id++ {
+		if !g.Alive(uint32(id)) {
+			s.Dead = append(s.Dead, uint32(id))
+		}
+	}
+	g.Edges(func(e graph.Edge) {
+		s.Edges = append(s.Edges, Edge{From: e.From, To: e.To})
+	})
+	return s
+}
+
+// Source lets a shard pull the state it must replicate at build time.
+// The in-process shard reads the coordinator's structures directly and
+// never asks; remote shards serialise what Source hands out.
+type Source interface {
+	// NumParts reports the current partition count.
+	NumParts() int
+	// PartSnapshot captures partition i's induced subgraph.
+	PartSnapshot(i int) Snapshot
+	// GraphSnapshot captures the full data-graph adjacency (for the
+	// remote conservative-ball computation).
+	GraphSnapshot() Snapshot
+}
+
+// OpKind enumerates the mutations a coordinator streams to its shards.
+type OpKind int
+
+// The four structural op kinds, mirroring the data-update kinds.
+const (
+	OpEdgeInsert OpKind = iota
+	OpEdgeDelete
+	OpNodeInsert
+	OpNodeDelete
+)
+
+// Op is one structural mutation, already applied to the coordinator's
+// own structures. Global ids (From/To/Node) drive data-graph replica
+// maintenance on remote shards; Part/Shard plus the local-id fields
+// drive the owning shard's intra-engine synchronisation. Part < 0
+// marks a replica-only op (a cross-partition edge, which no intra
+// engine sees).
+type Op struct {
+	Kind OpKind `json:"k"`
+
+	// Global-id view (data-graph replica maintenance).
+	From uint32 `json:"u,omitempty"`
+	To   uint32 `json:"v,omitempty"`
+	Node uint32 `json:"n,omitempty"`
+
+	// Partition-local view (intra-engine maintenance).
+	Part         int    `json:"p"` // owning partition (-1: replica-only)
+	Shard        int    `json:"s"` // owning shard index (-1: replica-only)
+	LFrom        uint32 `json:"lu,omitempty"`
+	LTo          uint32 `json:"lv,omitempty"`
+	Local        uint32 `json:"ln,omitempty"`
+	RemovedLocal []Edge `json:"rm,omitempty"` // local incident edges of a node delete
+}
+
+// AffectedReq asks for one update's conservative affected-ball
+// superset, evaluated against the shard's data-graph replica in its
+// current state (phase 1 sends deletions pre-batch, phase 4 sends
+// insertions post-batch).
+type AffectedReq struct {
+	Kind OpKind `json:"k"` // OpEdgeInsert/OpEdgeDelete/OpNodeDelete
+	From uint32 `json:"u,omitempty"`
+	To   uint32 `json:"v,omitempty"`
+	Node uint32 `json:"n,omitempty"`
+}
+
+// Shard is the per-partition half of the §V substrate.
+//
+// Error model: implementations either succeed or panic — the engine's
+// DistanceEngine surface has no error channel, and a shard that has
+// lost its state (or its transport) cannot answer anything correctly.
+// The RPC implementation panics with a *TransportError after its
+// retries are exhausted; a coordinator losing a shard loses the
+// session (failover is a ROADMAP item).
+type Shard interface {
+	// Remote reports whether ops must be streamed to this shard even
+	// when it owns none of the touched partitions (replica
+	// maintenance) and whether Affected is served off a remote
+	// replica. In-process shards return false.
+	Remote() bool
+
+	// Build (re)builds the intra engines of the owned partitions from
+	// the coordinator state exposed by src. index is this shard's
+	// position in the coordinator's shard table (echoed back in
+	// Op.Shard).
+	Build(cfg Config, index int, owned []int, src Source)
+
+	// EnsureHorizon widens every owned intra engine to cover bound k.
+	EnsureHorizon(k int)
+
+	// Dist returns the intra-partition distance between two locals of
+	// an owned partition.
+	Dist(part int, x, y uint32) shortest.Dist
+
+	// Ball visits the intra ball of src in ascending local-id order
+	// (src included at 0), stopping early when fn returns false. Safe
+	// for concurrent use between mutations.
+	Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool)
+
+	// ApplyOps applies one ordered batch of mutations (already applied
+	// to the coordinator's structures) and returns, aligned by index,
+	// the partition-local affected set of every op this shard owns
+	// (nil for replica-only and foreign ops).
+	ApplyOps(ops []Op) [][]uint32
+
+	// Affected computes the conservative affected-ball supersets of
+	// the given updates against the shard's data-graph replica. Only
+	// remote shards implement it meaningfully; in-process shards never
+	// receive it (the coordinator computes balls off its own graph).
+	Affected(reqs []AffectedReq) []nodeset.Set
+
+	// Close releases the shard (remote: closes idle connections; the
+	// worker process itself stays up for the next coordinator).
+	Close() error
+}
+
+// capHops converts a horizon into a usable hop bound.
+func capHops(horizon int) int {
+	if horizon == 0 {
+		return int(shortest.Inf) - 1
+	}
+	return horizon
+}
+
+// EdgeAffected is the conservative ball superset used as the affected
+// set of an edge update: everything that reaches u within H-1 hops plus
+// everything within H-1 hops of v (plus the endpoints). For insertions
+// these balls are identical before and after the update (a new path to
+// u via (u,v) would cycle through u), so one formula serves preview and
+// apply; for deletions they are evaluated in the pre-delete state,
+// which covers every pair whose old shortest path used the edge. gb is
+// caller-pooled scratch; the function only reads g.
+func EdgeAffected(gb *shortest.GraphBall, g *graph.Graph, u, v uint32, horizon int) nodeset.Set {
+	H := capHops(horizon)
+	var b nodeset.Builder
+	b.Add(u)
+	b.Add(v)
+	for _, x := range gb.Ball(g, u, H-1, true) {
+		b.Add(x)
+	}
+	for _, y := range gb.Ball(g, v, H-1, false) {
+		b.Add(y)
+	}
+	return b.Set()
+}
+
+// NodeAffected is the conservative ball superset for deleting node id
+// with out-neighbours outs and in-neighbours ins, evaluated in the
+// pre-delete state: both balls around id at H, plus the forward balls
+// of its successors and the reverse balls of its predecessors at H-1.
+func NodeAffected(gb *shortest.GraphBall, g *graph.Graph, id uint32, outs, ins []uint32, horizon int) nodeset.Set {
+	H := capHops(horizon)
+	var b nodeset.Builder
+	b.Add(id)
+	for _, y := range gb.Ball(g, id, H, false) {
+		b.Add(y)
+	}
+	for _, x := range gb.Ball(g, id, H, true) {
+		b.Add(x)
+	}
+	for _, v := range outs {
+		for _, y := range gb.Ball(g, v, H-1, false) {
+			b.Add(y)
+		}
+	}
+	for _, u := range ins {
+		for _, x := range gb.Ball(g, u, H-1, true) {
+			b.Add(x)
+		}
+	}
+	return b.Set()
+}

@@ -1,0 +1,103 @@
+// Package srvutil holds the HTTP serving plumbing the repository's
+// server binaries (gpnm-serve, gpnm-shard) share: an http.Server with
+// signal-driven graceful shutdown, so in-flight requests — long-polls
+// and ApplyBatch in particular — drain instead of being severed.
+package srvutil
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// WriteJSON renders v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError renders the repository's uniform JSON error shape.
+func WriteError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Decode parses the request body as JSON into v, answering a 400 and
+// reporting false on malformed input.
+func Decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		WriteError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// ListenAndServe serves h on addr until the process receives SIGINT or
+// SIGTERM, then shuts down gracefully: the listener closes immediately
+// (health checks start failing, so load balancers drain), and in-flight
+// requests get up to grace to finish before the server is torn down.
+// name prefixes the log lines written to logw (nil silences them).
+//
+// It returns nil on a clean signal-driven shutdown and the serve/
+// shutdown error otherwise.
+func ListenAndServe(addr string, h http.Handler, name string, grace time.Duration, logw io.Writer) error {
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	logf := func(format string, args ...interface{}) {
+		if logw != nil {
+			fmt.Fprintf(logw, name+": "+format+"\n", args...)
+		}
+	}
+	// Request contexts derive from baseCtx; cancelling it at shutdown
+	// unblocks in-flight long-polls immediately (http.Server.Shutdown
+	// alone never cancels request contexts, so a poller sitting in a
+	// 30s wait would otherwise out-wait any shorter grace window and
+	// turn a clean SIGTERM into a forced-shutdown error).
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     h,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or serve error before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second ^C kills hard
+	logf("shutting down (signal), draining for up to %s", grace)
+	cancelBase() // wake long-polls so the drain takes ms, not a poll window
+
+	sdCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		logf("forced shutdown: %v", err)
+		_ = srv.Close()
+		return err
+	}
+	logf("drained cleanly")
+	return <-errc
+}

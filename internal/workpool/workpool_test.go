@@ -1,0 +1,45 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachPropagatesPanic pins the fork-join contract the shard
+// layer depends on: a panic in fn (a remote shard's TransportError in
+// production) must re-raise on the calling goroutine — under any
+// worker bound — instead of crashing the process from an anonymous
+// goroutine.
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(workers, 50, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

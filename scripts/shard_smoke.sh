@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sharded deployment: spawn two
+# gpnm-shard worker processes plus one gpnm-serve coordinator wired to
+# them (-shards), register a pattern, apply an update batch, and assert
+# the delta comes back over HTTP — i.e. the full §V substrate ran with
+# its intra-partition state split across two worker processes. Needs
+# only curl + grep; CI runs it after the unit suite (`make shard-smoke`
+# locally).
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18090}"
+SHARD1_PORT=$((PORT + 1))
+SHARD2_PORT=$((PORT + 2))
+BASE="http://127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" "${SHARD1_PID:-}" "${SHARD2_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# Same tiny known graph as serve_smoke.sh: 0:PM -> 1:SE, 0:PM -> 2:PM.
+# Three labels → three partitions, split across the two shard workers.
+cat > "$DIR/g.txt" <<'EOF'
+0	1
+0	2
+EOF
+cat > "$DIR/g.labels" <<'EOF'
+0 PM
+1 SE
+2 PM
+EOF
+
+go build -o "$DIR/gpnm-serve" ./cmd/gpnm-serve
+go build -o "$DIR/gpnm-shard" ./cmd/gpnm-shard
+
+"$DIR/gpnm-shard" -addr "127.0.0.1:${SHARD1_PORT}" &
+SHARD1_PID=$!
+"$DIR/gpnm-shard" -addr "127.0.0.1:${SHARD2_PORT}" &
+SHARD2_PID=$!
+
+wait_healthy() {
+  local url=$1 pid=$2 what=$3
+  for i in $(seq 1 50); do
+    if curl -sf "$url/healthz" > /dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "shard-smoke: $what died before becoming healthy" >&2; exit 1
+    fi
+    sleep 0.2
+  done
+  echo "shard-smoke: $what never became healthy" >&2; exit 1
+}
+wait_healthy "http://127.0.0.1:${SHARD1_PORT}" "$SHARD1_PID" "shard worker 1"
+wait_healthy "http://127.0.0.1:${SHARD2_PORT}" "$SHARD2_PID" "shard worker 2"
+
+"$DIR/gpnm-serve" -addr "127.0.0.1:${PORT}" -graph "$DIR/g.txt" -labels "$DIR/g.labels" \
+  -horizon 3 -shards "127.0.0.1:${SHARD1_PORT},127.0.0.1:${SHARD2_PORT}" &
+SERVER_PID=$!
+wait_healthy "$BASE" "$SERVER_PID" "coordinator"
+
+# Both workers must actually have been claimed with partitions.
+S1=$(curl -sf "http://127.0.0.1:${SHARD1_PORT}/healthz")
+S2=$(curl -sf "http://127.0.0.1:${SHARD2_PORT}/healthz")
+echo "worker1: $S1"
+echo "worker2: $S2"
+echo "$S1" | grep -q '"built":true' || { echo "shard-smoke: worker 1 was never built" >&2; exit 1; }
+echo "$S2" | grep -q '"built":true' || { echo "shard-smoke: worker 2 was never built" >&2; exit 1; }
+echo "$S1$S2" | grep -q '"parts":[12]' || { echo "shard-smoke: no worker owns a partition" >&2; exit 1; }
+
+# Register a PM-within-2-of-SE pattern; initially only node 0 matches.
+REG=$(curl -sf -X POST "$BASE/patterns" \
+  -d '{"pattern":"node pm PM\nnode se SE\nedge pm se 2\n"}')
+echo "register: $REG"
+ID=$(echo "$REG" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$ID" ] || { echo "shard-smoke: no pattern id in $REG" >&2; exit 1; }
+echo "$REG" | grep -q '"matches":\[0\]' || { echo "shard-smoke: unexpected initial result" >&2; exit 1; }
+
+# Apply: connect the second PM (node 2) to the SE — an intra-PM-partition
+# no-op plus a cross-partition edge the workers must replicate; its id
+# must show up as an addition for pattern node 0.
+DELTA=$(curl -sf -X POST "$BASE/apply" -d '{"data":"+e 2 1\n"}')
+echo "apply: $DELTA"
+echo "$DELTA" | grep -q '"added":\[2\]' || { echo "shard-smoke: delta missed the new match" >&2; exit 1; }
+
+# A second batch exercises the shard-side node-delete path end to end:
+# removing the only SE leaves the pattern without a total match, so
+# every PM match is withdrawn.
+DELTA2=$(curl -sf -X POST "$BASE/apply" -d '{"data":"-n 1\n"}')
+echo "apply2: $DELTA2"
+echo "$DELTA2" | grep -q '"removed":\[0,2\]' || { echo "shard-smoke: delta missed the withdrawn matches" >&2; exit 1; }
+
+# Full result is now empty for the PM node.
+RES=$(curl -sf "$BASE/patterns/$ID")
+echo "$RES" | grep -q '"matches":\[\]' || { echo "shard-smoke: final result wrong: $RES" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit cleanly (0).
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "shard-smoke: coordinator did not exit cleanly on SIGTERM" >&2; exit 1; }
+SERVER_PID=""
+
+echo "shard-smoke: OK"

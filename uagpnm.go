@@ -140,6 +140,12 @@ type Options struct {
 	// to Workers goroutines (0 = all cores); 1 runs fully serial, which
 	// is how the baselines — UA-GPNM-NoPar included — are compared.
 	Workers int
+	// Shards, when non-empty, serves the UAGPNM partition engine's
+	// per-partition intra SLen state from remote gpnm-shard workers at
+	// these host:port addresses; the session process remains the
+	// coordinator (bridge overlay, stitching, caches). Empty = fully
+	// in-process.
+	Shards []string
 }
 
 // Session is an evolving GPNM query over one graph and pattern. The
@@ -153,9 +159,10 @@ type Session struct {
 // p (IQuery), and returns the live session.
 func NewSession(g *Graph, p *Pattern, opts Options) *Session {
 	return &Session{inner: core.NewSession(g, p, core.Config{
-		Method:  opts.Method,
-		Horizon: opts.Horizon,
-		Workers: opts.Workers,
+		Method:     opts.Method,
+		Horizon:    opts.Horizon,
+		Workers:    opts.Workers,
+		ShardAddrs: opts.Shards,
 	})}
 }
 
@@ -188,6 +195,11 @@ func (s *Session) Stats() core.QueryStats { return s.inner.Stats }
 // Fork returns an independent copy of the session (deep copies of graph,
 // pattern, substrate and match).
 func (s *Session) Fork() *Session { return &Session{inner: s.inner.Fork()} }
+
+// Close releases the session's substrate shards (remote gpnm-shard
+// clients drop their caches and idle connections). Only needed when
+// Options.Shards was set; harmless otherwise.
+func (s *Session) Close() error { return s.inner.Close() }
 
 // Update constructors — data graph side.
 
@@ -292,6 +304,11 @@ type HubOptions struct {
 	// Workers bounds the substrate pool and the per-pattern fan-out
 	// (0 = all cores, 1 = fully serial).
 	Workers int
+	// Shards, when non-empty, serves the partition engine's intra SLen
+	// state from remote gpnm-shard workers at these host:port
+	// addresses (see Options.Shards); the hub process remains the
+	// coordinator.
+	Shards []string
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256).
 	History int
@@ -313,6 +330,7 @@ func NewHub(g *Graph, opts HubOptions) *Hub {
 		Method:  opts.Method,
 		Horizon: opts.Horizon,
 		Workers: opts.Workers,
+		Shards:  opts.Shards,
 		History: opts.History,
 	})}
 }
@@ -377,6 +395,11 @@ func (h *Hub) Graph() *Graph { return h.inner.Graph() }
 
 // LastBatch reports the shared work of the most recent ApplyBatch.
 func (h *Hub) LastBatch() HubBatchStats { return h.inner.LastBatch() }
+
+// Close releases the hub's substrate shards (remote gpnm-shard clients
+// drop their caches and idle connections). Call once the hub is done
+// serving.
+func (h *Hub) Close() error { return h.inner.Close() }
 
 // Stats reports the per-pattern pass statistics of id's last amendment.
 func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.PatternStats(id) }
