@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test short race fuzz ci bench-seed scaling bench bench-hub bench-shards serve shards smoke shard-smoke
+.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards serve shards smoke shard-smoke
 
 all: ci
 
@@ -12,6 +12,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The pre-push gate: static checks + build + the full unit suite.
+check: vet build test
 
 # Quick pass: skips the stress variants.
 short:

@@ -1,30 +1,37 @@
 // Command gpnm-serve exposes a standing-query hub over HTTP/JSON: one
 // evolving data graph, one shared SLen substrate, many registered
 // patterns — every update batch pays the substrate synchronisation once
-// and streams per-pattern result deltas to subscribers.
+// and streams per-pattern result deltas to subscribers. The protocol is
+// the versioned /v1 API of internal/api, which uagpnm.Dial speaks; the
+// pre-versioning routes stay mounted as aliases for one release.
 //
 // Start it on a SNAP-style edge list (optionally with a label file), on
 // a generated synthetic social graph, or on an empty graph to be grown
-// entirely through /apply:
+// entirely through /v1/apply:
 //
 //	gpnm-serve -graph g.txt -labels g.labels -horizon 3
 //	gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
-//	gpnm-serve                       # empty graph, build via /apply
+//	gpnm-serve                       # empty graph, build via /v1/apply
 //
 // With -shards host:port,... the hub's partition substrate is served
 // from that many gpnm-shard worker processes (the §V partitions split
 // round-robin, the bridge overlay staying in this process as the
 // coordination layer); the HTTP API is unchanged. The server drains
-// in-flight requests on SIGINT/SIGTERM before exiting.
+// in-flight requests on SIGINT/SIGTERM — and on substrate loss: a dead
+// shard worker poisons the hub, every handler answers with the
+// machine-readable substrate_lost error, parked long-polls are woken,
+// and the process drains gracefully and exits non-zero for its
+// supervisor to restart into a clean build.
 //
-// Endpoints (see README.md for curl examples):
+// Endpoints (see README.md for the table and curl examples):
 //
-//	GET    /healthz                      liveness + hub stats
-//	POST   /patterns                     {"pattern": "node a A\n..."} → id + initial result
-//	GET    /patterns/{id}                current result
-//	DELETE /patterns/{id}                unregister
-//	POST   /apply                        {"data": "+e 1 2\n...", "patterns": {"1": "-pe 0 1"}}
-//	GET    /patterns/{id}/deltas?since=N long-poll result changes
+//	GET    /v1/healthz                      liveness + hub stats
+//	POST   /v1/patterns                     register (DSL or typed graph) → id + initial result
+//	GET    /v1/patterns/{id}                current result
+//	GET    /v1/patterns/{id}/snapshot       typed pattern + raw simulation images + seq
+//	DELETE /v1/patterns/{id}                unregister
+//	POST   /v1/apply                        typed update batch
+//	GET    /v1/patterns/{id}/deltas?since=N long-poll result changes
 package main
 
 import (
@@ -71,21 +78,49 @@ func main() {
 			len(shardAddrs), strings.Join(shardAddrs, ", "))
 	}
 
-	h := uagpnm.NewHub(g, uagpnm.HubOptions{
+	h, err := uagpnm.NewHub(g, uagpnm.HubOptions{
 		Horizon: *horizon,
 		Workers: *workers,
 		Shards:  shardAddrs,
 		History: *history,
 	})
-	srv := newServer(h, *pollTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnm-serve: building hub:", err)
+		os.Exit(1)
+	}
+
+	// Substrate loss (a shard worker died mid-batch) starts the same
+	// graceful drain a SIGTERM would: the hub has already woken every
+	// parked long-poll with ErrSubstrateLost, handlers answer the
+	// machine-readable substrate_lost error, and closing stop lets
+	// in-flight requests finish inside the grace window instead of the
+	// old recover-and-os.Exit path severing them. The handler fires the
+	// callback exactly once, and the hub keeps the loss sticky (Err).
+	stop := make(chan struct{})
+	handler := uagpnm.NewHandler(h, uagpnm.HandlerOptions{
+		PollTimeout: *pollTimeout,
+		OnSubstrateLoss: func(err error) {
+			fmt.Fprintf(os.Stderr, "gpnm-serve: substrate lost (%v) — draining\n", err)
+			close(stop)
+		},
+	})
+
 	fmt.Fprintf(os.Stderr, "gpnm-serve: listening on %s\n", *addr)
-	// Graceful shutdown on SIGINT/SIGTERM: in-flight /apply and
-	// long-polls drain within the grace window instead of being severed.
-	if err := srvutil.ListenAndServe(*addr, srv.routes(), "gpnm-serve", *grace, os.Stderr); err != nil {
+	// Graceful shutdown on SIGINT/SIGTERM or substrate loss: in-flight
+	// /apply and long-polls drain within the grace window instead of
+	// being severed.
+	err = srvutil.ListenAndServeUntil(*addr, handler, "gpnm-serve", *grace, os.Stderr, stop)
+	_ = h.Close() // release remote shard clients after the drain
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpnm-serve:", err)
 		os.Exit(1)
 	}
-	_ = h.Close() // release remote shard clients after the drain
+	if lossErr := h.Err(); lossErr != nil {
+		// Drained cleanly, but the substrate is gone: exit non-zero so a
+		// supervisor restarts this process into a fresh build.
+		fmt.Fprintln(os.Stderr, "gpnm-serve: exiting after substrate loss:", lossErr)
+		os.Exit(1)
+	}
 }
 
 func buildGraph(graphPath, labelsPath, defaultLabel string, synthNodes, synthEdges, synthLabels int, seed int64) (*uagpnm.Graph, error) {

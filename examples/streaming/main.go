@@ -1,52 +1,147 @@
 // Streaming: the motivating regime of the paper — a frequently updated
 // social graph (§I quotes Facebook's per-minute churn) where the query
-// result must stay fresh across a stream of update batches. The example
-// maintains one UA-GPNM session and one INC-GPNM session over the same
-// stream and prints the per-batch costs side by side, including the
-// elimination statistics that explain UA-GPNM's advantage.
+// result must stay fresh across a stream of update batches — served
+// through the client SDK. The example embeds a hub server in-process
+// (uagpnm.NewHandler on a loopback listener), connects to it with
+// uagpnm.Dial, and then works exclusively through the uagpnm.Service
+// interface: a subscriber goroutine long-polls WaitDeltas while the
+// main goroutine streams update batches through ApplyBatch, printing
+// the shared SLen cost each batch pays once no matter how many
+// standing queries are registered. Point -server at a real gpnm-serve
+// process and the identical code drives a remote hub.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"uagpnm"
 )
 
 func main() {
+	server := flag.String("server", "", "gpnm-serve address; empty = embed a hub server in-process")
+	flag.Parse()
+
 	g := uagpnm.GenerateSocialGraph(uagpnm.SocialGraphConfig{
 		Name: "stream", Nodes: 2500, Edges: 12000, Labels: 10,
 		Homophily: 0.95, PrefAtt: 0.6, Seed: 99,
 	})
 	p := uagpnm.GeneratePattern(uagpnm.PatternConfig{
-		Nodes: 8, Edges: 8, BoundMin: 1, BoundMax: 3, Seed: 100,
+		Nodes: 3, Edges: 3, BoundMin: 2, BoundMax: 3, Seed: 100,
 	}, g)
 
-	ua := uagpnm.NewSession(g.Clone(), p.Clone(), uagpnm.Options{Method: uagpnm.UAGPNM, Horizon: 3})
-	inc := uagpnm.NewSession(g.Clone(), p.Clone(), uagpnm.Options{Method: uagpnm.INCGPNM, Horizon: 3})
-	fmt.Printf("streaming over %d nodes / %d edges; pattern (%d,%d)\n\n",
-		g.NumNodes(), g.NumEdges(), p.NumNodes(), p.NumEdges())
-	fmt.Printf("%-6s %-10s %-12s %-12s %-22s\n", "batch", "updates", "UA-GPNM", "INC-GPNM", "UA eliminated/roots")
+	// The driver keeps its own copies: batches must be generated against
+	// the evolving state, and the hub owns its graph after NewHub.
+	gw, pw := g.Clone(), p.Clone()
 
-	var uaTotal, incTotal time.Duration
-	for round := 0; round < 8; round++ {
-		// Batches are generated against UA's current state; both sessions
-		// process identical updates.
-		batch := uagpnm.GenerateBatch(int64(round*13+1), 2, 60, ua.Graph(), ua.Pattern())
-		uaMatch := ua.SQuery(batch)
-		incMatch := inc.SQuery(batch)
-		if !uaMatch.Equal(incMatch) {
-			panic("methods diverged — this is a bug")
-		}
-		us, is := ua.Stats(), inc.Stats()
-		uaTotal += us.Duration
-		incTotal += is.Duration
-		fmt.Printf("%-6d %-10d %-12v %-12v %d/%d of %d\n",
-			round, batch.Size(), us.Duration.Round(time.Microsecond),
-			is.Duration.Round(time.Microsecond),
-			us.Eliminated, us.TreeRoots, us.TreeSize)
+	addr := *server
+	if addr == "" {
+		var err error
+		addr, err = embedServer(g)
+		fatalIf(err)
+		fmt.Printf("embedded hub server on %s\n", addr)
 	}
-	fmt.Printf("\ntotals: UA-GPNM %v, INC-GPNM %v (%.1f× speedup); results identical each batch\n",
-		uaTotal.Round(time.Millisecond), incTotal.Round(time.Millisecond),
-		float64(incTotal)/float64(uaTotal))
+
+	ctx := context.Background()
+	svc, err := uagpnm.Dial(addr)
+	fatalIf(err)
+	defer svc.Close()
+
+	id, err := svc.Register(ctx, p)
+	fatalIf(err)
+	fmt.Printf("streaming over %d nodes / %d edges; standing query %d (%d,%d)\n\n",
+		gw.NumNodes(), gw.NumEdges(), id, pw.NumNodes(), pw.NumEdges())
+
+	// Subscriber: long-poll deltas concurrently with the update stream —
+	// the push half of the incremental-view contract.
+	subCtx, stopSub := context.WithCancel(ctx)
+	defer stopSub()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		since := uint64(0)
+		for {
+			ds, resync, err := svc.WaitDeltas(subCtx, id, since)
+			if err != nil {
+				return // ctx cancelled or query unregistered
+			}
+			if resync {
+				fmt.Printf("  [subscriber] fell behind the delta history — refetching via Snapshot\n")
+				_, _, seq, err := svc.Snapshot(subCtx, id)
+				if err != nil {
+					return
+				}
+				since = seq
+				continue
+			}
+			for _, d := range ds {
+				added, removed := 0, 0
+				for _, nd := range d.Nodes {
+					added += nd.Added.Len()
+					removed += nd.Removed.Len()
+				}
+				fmt.Printf("  [subscriber] seq %d: +%d/-%d matches across %d pattern node(s)\n",
+					d.Seq, added, removed, len(d.Nodes))
+				since = d.Seq
+			}
+		}
+	}()
+
+	fmt.Printf("%-6s %-10s %-14s %-14s %s\n", "batch", "updates", "round trip", "shared SLen", "data updates synced")
+	var slenTotal, rtTotal time.Duration
+	for round := 0; round < 8; round++ {
+		batch := uagpnm.GenerateBatch(int64(round*13+1), 0, 60, gw, pw)
+		start := time.Now()
+		_, stats, err := svc.ApplyBatch(ctx, uagpnm.HubBatch{D: batch.D})
+		fatalIf(err)
+		rt := time.Since(start)
+		// Mirror the driver state the same way the hub applied it.
+		uagpnm.ApplyDataUpdates(gw, batch.D)
+		slenTotal += stats.SLenSync
+		rtTotal += rt
+		fmt.Printf("%-6d %-10d %-14v %-14v %d\n",
+			round, len(batch.D), rt.Round(time.Microsecond),
+			stats.SLenSync.Round(time.Microsecond), stats.SLenSyncs)
+		time.Sleep(20 * time.Millisecond) // let the subscriber print in order
+	}
+
+	// One consistent read-back through the same interface.
+	rp, rm, seq, err := svc.Snapshot(ctx, id)
+	fatalIf(err)
+	matched := 0
+	rp.Nodes(func(u uagpnm.PatternNodeID) { matched += rm.Nodes(u).Len() })
+	fmt.Printf("\nafter seq %d: total=%v, %d matched data nodes across %d pattern nodes\n",
+		seq, rm.Total(), matched, rp.NumNodes())
+	fmt.Printf("totals: %v round trips, %v shared SLen — the substrate cost every further standing query would reuse\n",
+		rtTotal.Round(time.Millisecond), slenTotal.Round(time.Millisecond))
+
+	stopSub()
+	<-subDone
+	fatalIf(svc.Unregister(ctx, id))
+}
+
+// embedServer starts the hub HTTP server on a loopback listener and
+// returns its address — the in-process stand-in for gpnm-serve.
+func embedServer(g *uagpnm.Graph) (string, error) {
+	h, err := uagpnm.NewHub(g, uagpnm.HubOptions{Horizon: 3})
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: uagpnm.NewHandler(h, uagpnm.HandlerOptions{})}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -129,11 +129,18 @@ func RunMultiPattern(cfg MultiPatternConfig) MultiPatternResult {
 	// One hub, N standing queries, one substrate (optionally sharded
 	// across remote workers).
 	start := time.Now()
-	h := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers, Shards: cfg.Shards})
+	h, err := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers, Shards: cfg.Shards})
+	if err != nil {
+		panic("bench: hub build failed: " + err.Error())
+	}
 	defer h.Close()
 	ids := make([]hub.PatternID, cfg.Patterns)
 	for i, ph := range patterns {
-		ids[i] = h.Register(ph.Clone())
+		id, err := h.Register(ph.Clone())
+		if err != nil {
+			panic("bench: hub register failed: " + err.Error())
+		}
+		ids[i] = id
 	}
 	res.Hub.BuildSeconds = time.Since(start).Seconds()
 	for _, b := range batches {

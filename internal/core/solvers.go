@@ -123,7 +123,14 @@ func (s *Session) runUA(b updates.Batch) {
 	var affSets []nodeset.Set
 	var changeLog nodeset.Set
 	if pe, ok := s.Engine.(*partition.Engine); ok {
-		affSets, changeLog = pe.ApplyDataBatch(b.D, s.G)
+		var err error
+		affSets, changeLog, err = pe.ApplyDataBatch(b.D, s.G)
+		if err != nil {
+			// A Session has no error surface (it is the single-query,
+			// in-process API); substrate loss is fatal to it. The hub and
+			// the Service layer recover this into an error return.
+			panic(err)
+		}
 	} else {
 		affSets = make([]nodeset.Set, len(b.D))
 		var log nodeset.Builder

@@ -56,11 +56,11 @@ func TestHubDifferentialScratch(t *testing.T) {
 			seed := int64(92000 + trial)
 			g, ps := randomInstance(seed, 45, 120, k)
 
-			h := New(g.Clone(), Config{Horizon: 3, Workers: workers})
+			h := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers})
 			ids := make([]PatternID, k)
 			sessions := make([]*core.Session, k)
 			for i, p := range ps {
-				ids[i] = h.Register(p.Clone())
+				ids[i] = mustRegister(t, h, p.Clone())
 				sessions[i] = core.NewSession(g.Clone(), p.Clone(),
 					core.Config{Method: core.Scratch, Horizon: 3})
 			}
@@ -112,11 +112,11 @@ func TestHubDifferentialStress(t *testing.T) {
 	}
 	const k = 6
 	g, ps := randomInstance(31337, 80, 260, k)
-	h := New(g.Clone(), Config{Horizon: 3, Workers: 8})
+	h := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: 8})
 	ids := make([]PatternID, k)
 	sessions := make([]*core.Session, k)
 	for i, p := range ps {
-		ids[i] = h.Register(p.Clone())
+		ids[i] = mustRegister(t, h, p.Clone())
 		sessions[i] = core.NewSession(g.Clone(), p.Clone(),
 			core.Config{Method: core.Scratch, Horizon: 3})
 	}
@@ -167,11 +167,11 @@ func TestHubShardedDifferential(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		g, ps := randomInstance(int64(73000+workers), 40, 110, k)
-		h := New(g.Clone(), Config{Horizon: 3, Workers: workers, Shards: addrs})
+		h := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers, Shards: addrs})
 		ids := make([]PatternID, k)
 		sessions := make([]*core.Session, k)
 		for i, p := range ps {
-			ids[i] = h.Register(p.Clone())
+			ids[i] = mustRegister(t, h, p.Clone())
 			sessions[i] = core.NewSession(g.Clone(), p.Clone(),
 				core.Config{Method: core.Scratch, Horizon: 3})
 		}
@@ -205,11 +205,11 @@ func TestHubShardedDifferential(t *testing.T) {
 func TestHubMatchesSessionPipeline(t *testing.T) {
 	const k = 3
 	g, ps := randomInstance(777, 50, 150, k)
-	h := New(g.Clone(), Config{Horizon: 3, Workers: 4})
+	h := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: 4})
 	ids := make([]PatternID, k)
 	sessions := make([]*core.Session, k)
 	for i, p := range ps {
-		ids[i] = h.Register(p.Clone())
+		ids[i] = mustRegister(t, h, p.Clone())
 		sessions[i] = core.NewSession(g.Clone(), p.Clone(),
 			core.Config{Method: core.UAGPNM, Horizon: 3, Workers: 1})
 	}

@@ -48,6 +48,7 @@ import (
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/partition"
 	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/shortest"
 	"uagpnm/internal/simulation"
 	"uagpnm/internal/updates"
@@ -154,18 +155,27 @@ type Hub struct {
 	next  PatternID
 	seq   uint64
 	last  BatchStats
+
+	// lost poisons the hub after a substrate loss: a batch that died
+	// mid-flight may have advanced the substrate for some patterns and
+	// not others, so no further answer can be trusted. Every method that
+	// touches results returns this error once set; parked long-polls are
+	// woken with it so front ends can drain cleanly.
+	lost error
 }
 
 // New builds the shared substrate over g and returns an empty hub. The
-// hub owns g afterwards.
-func New(g *graph.Graph, cfg Config) *Hub {
+// hub owns g afterwards. With Config.Shards set, building the remote
+// intra engines can fail (a worker is unreachable); the error wraps
+// shard.ErrSubstrateLost.
+func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 	if cfg.Method == core.Scratch {
 		cfg.Method = core.UAGPNM
 	}
 	if cfg.History <= 0 {
 		cfg.History = 256
 	}
-	h := &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), next: 1}
+	h = &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), next: 1}
 	h.cond = sync.NewCond(&h.mu)
 	h.eng = core.NewEngineFor(g, core.Config{
 		Method:         cfg.Method,
@@ -175,8 +185,18 @@ func New(g *graph.Graph, cfg Config) *Hub {
 		Workers:        cfg.Workers,
 		ShardAddrs:     cfg.Shards,
 	})
+	defer partition.RecoverSubstrateLoss(&err)
 	h.eng.Build()
-	return h
+	return h, nil
+}
+
+// fail records the first substrate loss, wakes every parked long-poll,
+// and leaves the hub permanently poisoned. Called with h.mu held.
+func (h *Hub) fail(err error) {
+	if h.lost == nil {
+		h.lost = err
+		h.cond.Broadcast()
+	}
 }
 
 // fanWorkers bounds the per-pattern fan-out.
@@ -197,10 +217,28 @@ func (h *Hub) fanWorkers() int {
 // the hub is already processing batches. Construct patterns before
 // concurrent hub use, or parse them under the hub's lock with
 // RegisterScript.
-func (h *Hub) Register(p *pattern.Graph) PatternID {
+//
+// It errors when the substrate is (or becomes) lost: the initial query
+// widens the horizon and reads the engine, both of which can hit a dead
+// remote shard.
+func (h *Hub) Register(p *pattern.Graph) (id PatternID, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.registerLocked(p)
+	if h.lost != nil {
+		return 0, h.lost
+	}
+	defer h.failOnLoss(&err)
+	defer partition.RecoverSubstrateLoss(&err)
+	return h.registerLocked(p), nil
+}
+
+// failOnLoss poisons the hub when a recovered error is a substrate
+// loss. Deferred AFTER RecoverSubstrateLoss so it observes the
+// converted error (defers run last-in-first-out). Called with h.mu held.
+func (h *Hub) failOnLoss(err *error) {
+	if *err != nil && errors.Is(*err, shard.ErrSubstrateLost) {
+		h.fail(*err)
+	}
 }
 
 // RegisterScript parses the textual pattern format ("node <name>
@@ -209,9 +247,25 @@ func (h *Hub) Register(p *pattern.Graph) PatternID {
 // hub's lock, so label interning can never race a concurrent batch
 // (the HTTP front end's register path). Empty patterns are rejected.
 func (h *Hub) RegisterScript(r io.Reader) (PatternID, error) {
+	return h.RegisterFunc(func(labels *graph.Labels) (*pattern.Graph, error) {
+		return pattern.Parse(r, labels)
+	})
+}
+
+// RegisterFunc builds a pattern against the hub graph's label table —
+// under the hub's lock, so label interning can never race a concurrent
+// batch — and registers the result. The API front end's typed register
+// path (internal/api) materialises its wire pattern through this; the
+// DSL path is RegisterScript. Empty patterns are rejected.
+func (h *Hub) RegisterFunc(build func(labels *graph.Labels) (*pattern.Graph, error)) (id PatternID, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	p, err := pattern.Parse(r, h.g.Labels())
+	if h.lost != nil {
+		return 0, h.lost
+	}
+	defer h.failOnLoss(&err)
+	defer partition.RecoverSubstrateLoss(&err)
+	p, err := build(h.g.Labels())
 	if err != nil {
 		return 0, err
 	}
@@ -240,10 +294,31 @@ func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 
 // Unregister removes a standing query, waking any long-pollers on it
 // (they observe ErrUnknownPattern). It reports whether id was
-// registered.
+// registered. Removal works even on a poisoned hub — there is nothing
+// a loss can corrupt about forgetting a query; UnregisterErr is the
+// Service-facing form that surfaces the loss instead.
 func (h *Hub) Unregister(id PatternID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.unregisterLocked(id)
+}
+
+// UnregisterErr is Unregister under the Service error contract:
+// ErrUnknownPattern for an unregistered id, and the sticky substrate
+// loss on a poisoned hub (every Service call must surface it).
+func (h *Hub) UnregisterErr(id PatternID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lost != nil {
+		return h.lost
+	}
+	if !h.unregisterLocked(id) {
+		return ErrUnknownPattern
+	}
+	return nil
+}
+
+func (h *Hub) unregisterLocked(id PatternID) bool {
 	if _, ok := h.regs[id]; !ok {
 		return false
 	}
@@ -301,6 +376,15 @@ func (h *Hub) Close() error {
 	return nil
 }
 
+// Err reports the hub's sticky substrate-loss error (nil while
+// healthy). Front ends surface it from health endpoints so load
+// balancers stop routing to a poisoned process.
+func (h *Hub) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lost
+}
+
 // LastBatch reports the shared work of the most recent ApplyBatch.
 func (h *Hub) LastBatch() BatchStats {
 	h.mu.Lock()
@@ -309,13 +393,15 @@ func (h *Hub) LastBatch() BatchStats {
 }
 
 // Match returns a defensive deep copy of pattern id's current match
-// (nil, false when id is unknown). Like Session.SQuery's return, the
+// (nil, false when id is unknown — or when the hub is poisoned, since
+// a loss mid-fan-out can leave some registrations amended and others
+// not; check Err to distinguish). Like Session.SQuery's return, the
 // copy is the caller's to keep and stays frozen as batches proceed.
 func (h *Hub) Match(id PatternID) (*simulation.Match, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	r, ok := h.regs[id]
-	if !ok {
+	if !ok || h.lost != nil {
 		return nil, false
 	}
 	return r.match.Clone(r.p), true
@@ -323,24 +409,38 @@ func (h *Hub) Match(id PatternID) (*simulation.Match, bool) {
 
 // Result returns the GPNM node matching result Npi for pattern node u
 // of standing query id — freshly materialised, never aliasing hub state.
+// Nil both for unknown ids and on a poisoned hub; see ResultErr.
 func (h *Hub) Result(id PatternID, u pattern.NodeID) nodeset.Set {
+	s, _ := h.ResultErr(id, u)
+	return s
+}
+
+// ResultErr is Result with the failure modes distinguished:
+// ErrUnknownPattern for an unregistered id, the sticky substrate loss
+// on a poisoned hub — a loss mid-fan-out can leave some registrations
+// amended and others not, so post-loss reads must not be served.
+func (h *Hub) ResultErr(id PatternID, u pattern.NodeID) (nodeset.Set, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lost != nil {
+		return nil, h.lost
+	}
 	r, ok := h.regs[id]
 	if !ok {
-		return nil
+		return nil, ErrUnknownPattern
 	}
-	return r.match.Nodes(u)
+	return r.match.Nodes(u), nil
 }
 
 // PatternGraph returns a defensive clone of standing query id's current
-// pattern graph (nil, false when id is unknown) — front ends use it to
-// render results with node names after ΔGP batches evolved the pattern.
+// pattern graph (nil, false when id is unknown, or on a poisoned hub —
+// check Err) — front ends use it to render results with node names
+// after ΔGP batches evolved the pattern.
 func (h *Hub) PatternGraph(id PatternID) (*pattern.Graph, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	r, ok := h.regs[id]
-	if !ok {
+	if !ok || h.lost != nil {
 		return nil, false
 	}
 	return r.p.Clone(), true
@@ -350,16 +450,21 @@ func (h *Hub) PatternGraph(id PatternID) (*pattern.Graph, bool) {
 // pattern, match (both defensive clones) and the hub sequence they
 // correspond to — taken under one lock acquisition, so a batch landing
 // between calls can never pair a stale match with a newer pattern or
-// sequence number.
-func (h *Hub) Snapshot(id PatternID) (p *pattern.Graph, m *simulation.Match, seq uint64, ok bool) {
+// sequence number. It errors with ErrUnknownPattern for an
+// unregistered id, and with the sticky substrate loss on a poisoned
+// hub (post-loss state may be half-amended and must not be served).
+func (h *Hub) Snapshot(id PatternID) (p *pattern.Graph, m *simulation.Match, seq uint64, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lost != nil {
+		return nil, nil, 0, h.lost
+	}
 	r, ok := h.regs[id]
 	if !ok {
-		return nil, nil, 0, false
+		return nil, nil, 0, ErrUnknownPattern
 	}
 	p = r.p.Clone()
-	return p, r.match.Clone(p), h.seq, true
+	return p, r.match.Clone(p), h.seq, nil
 }
 
 // PatternStats reports the per-pattern pass statistics of id's last
@@ -383,9 +488,20 @@ func (h *Hub) PatternStats(id PatternID) (core.QueryStats, bool) {
 // amendment fan out. It errors without touching anything when the
 // batch references an unknown pattern, puts an update on the wrong
 // side, or carries a node insert with a mispredicted id.
-func (h *Hub) ApplyBatch(b Batch) ([]Delta, BatchStats, error) {
+//
+// Losing a substrate shard mid-batch returns an error wrapping
+// shard.ErrSubstrateLost and poisons the hub: the shared substrate may
+// be half-advanced relative to some patterns' matches, so every further
+// call fails with the same error and parked long-polls are woken with
+// it. Front ends drain and restart into a fresh build.
+func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lost != nil {
+		return nil, BatchStats{}, h.lost
+	}
+	defer h.failOnLoss(&err)
+	defer partition.RecoverSubstrateLoss(&err)
 	start := time.Now()
 
 	// Validate fully before touching anything: the appliers panic on
@@ -476,7 +592,10 @@ func (h *Hub) ApplyBatch(b Batch) ([]Delta, BatchStats, error) {
 	var affSets []nodeset.Set
 	var changeLog nodeset.Set
 	if pe, ok := h.eng.(*partition.Engine); ok {
-		affSets, changeLog = pe.ApplyDataBatch(b.D, h.g)
+		affSets, changeLog, err = pe.ApplyDataBatch(b.D, h.g)
+		if err != nil {
+			return nil, BatchStats{}, err
+		}
 	} else {
 		affSets = make([]nodeset.Set, len(b.D))
 		var log nodeset.Builder
@@ -592,6 +711,12 @@ func (h *Hub) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []
 	})
 	defer stop()
 	for {
+		if h.lost != nil {
+			// Substrate loss closes every long-poll: there will never be
+			// another delta, and the front end needs its handlers back to
+			// drain.
+			return nil, false, h.lost
+		}
 		r, ok := h.regs[id]
 		if !ok {
 			return nil, false, ErrUnknownPattern

@@ -36,11 +36,31 @@ func abPattern(g *graph.Graph) *pattern.Graph {
 	return p
 }
 
+// mustHub / mustRegister unwrap the error returns (in-process hubs
+// never lose a substrate; any error here is a test bug).
+func mustHub(t testing.TB, g *graph.Graph, cfg Config) *Hub {
+	t.Helper()
+	h, err := New(g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func mustRegister(t testing.TB, h *Hub, p *pattern.Graph) PatternID {
+	t.Helper()
+	id, err := h.Register(p)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return id
+}
+
 func TestHubRegisterAndApply(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
 
-	id := h.Register(abPattern(g))
+	id := mustRegister(t, h, abPattern(g))
 	if got := h.Result(id, 0); !got.Equal(nodeset.New(0)) {
 		t.Fatalf("IQuery u0 = %v, want {0}", got)
 	}
@@ -85,8 +105,8 @@ func TestHubRegisterAndApply(t *testing.T) {
 
 func TestHubApplyBatchValidation(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
-	id := h.Register(abPattern(g))
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
+	id := mustRegister(t, h, abPattern(g))
 
 	if _, _, err := h.ApplyBatch(Batch{P: map[PatternID][]updates.Update{
 		id + 99: {{Kind: updates.PatternEdgeDelete, From: 0, To: 1}},
@@ -145,15 +165,15 @@ func TestHubNewLabelInserts(t *testing.T) {
 	}
 	const k = 16
 	g, ps := randomInstance(64123, 260, 800, k)
-	h := New(g, Config{Horizon: 3, Workers: 4})
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 4})
 	ids := make([]PatternID, k)
 	for i, p := range ps {
-		ids[i] = h.Register(p)
+		ids[i] = mustRegister(t, h, p)
 	}
 	perPattern := make(map[PatternID][]updates.Update, k)
 	for i, id := range ids {
 		nodes := uint32(0)
-		if p, _, _, ok := h.Snapshot(id); ok {
+		if p, _, _, err := h.Snapshot(id); err == nil {
 			nodes = uint32(p.NumIDs())
 		}
 		perPattern[id] = []updates.Update{{
@@ -167,8 +187,8 @@ func TestHubNewLabelInserts(t *testing.T) {
 	for i, id := range ids {
 		// ps[i] is the pre-batch pattern object (phase 3 swapped the
 		// registration to a clone); the hub's copy has one extra node.
-		p, _, _, ok := h.Snapshot(id)
-		if !ok || p.NumNodes() != ps[i].NumNodes()+1 {
+		p, _, _, err := h.Snapshot(id)
+		if err != nil || p.NumNodes() != ps[i].NumNodes()+1 {
 			t.Fatalf("pattern %d: node insert not applied (nodes=%d)", i, p.NumNodes())
 		}
 		// A pattern node with an unmatched fresh label breaks totality:
@@ -181,7 +201,7 @@ func TestHubNewLabelInserts(t *testing.T) {
 
 func TestHubRegisterScript(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
 
 	if _, err := h.RegisterScript(strings.NewReader("garbage\n")); err == nil {
 		t.Fatal("bad DSL must error")
@@ -199,9 +219,9 @@ func TestHubRegisterScript(t *testing.T) {
 	if st := h.GraphStats(); st.Nodes != 3 || st.Edges != 1 {
 		t.Fatalf("GraphStats = %+v", st)
 	}
-	p, m, seq, ok := h.Snapshot(id)
-	if !ok || seq != 0 || p.NumNodes() != 2 || !m.Total() {
-		t.Fatalf("Snapshot = (%v, %v, %d, %v)", p, m, seq, ok)
+	p, m, seq, err := h.Snapshot(id)
+	if err != nil || seq != 0 || p.NumNodes() != 2 || !m.Total() {
+		t.Fatalf("Snapshot = (%v, %v, %d, %v)", p, m, seq, err)
 	}
 }
 
@@ -209,8 +229,8 @@ func TestHubRegisterScript(t *testing.T) {
 // must not corrupt what WaitDeltas serves later (and vice versa).
 func TestHubDeltaHistoryIsolation(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
-	id := h.Register(abPattern(g))
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
+	id := mustRegister(t, h, abPattern(g))
 	deltas, _, err := h.ApplyBatch(Batch{D: []updates.Update{
 		{Kind: updates.DataEdgeInsert, From: 2, To: 1},
 	}})
@@ -237,9 +257,9 @@ func TestHubDeltaHistoryIsolation(t *testing.T) {
 // relaxes, one is untouched; only the relaxed one may change.
 func TestHubPerPatternUpdates(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 2})
-	idA := h.Register(abPattern(g))
-	idB := h.Register(abPattern(g))
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 2})
+	idA := mustRegister(t, h, abPattern(g))
+	idB := mustRegister(t, h, abPattern(g))
 
 	// Deleting the pattern edge of A relaxes u0: every A-labelled node
 	// matches.
@@ -266,8 +286,8 @@ func TestHubPerPatternUpdates(t *testing.T) {
 
 func TestHubWaitDeltas(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
-	id := h.Register(abPattern(g))
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
+	id := mustRegister(t, h, abPattern(g))
 
 	// Timeout path: no deltas arrive.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
@@ -342,8 +362,8 @@ func TestHubWaitDeltasResync(t *testing.T) {
 	u1 := p.AddNode("B")
 	p.AddEdge(u0, u1, 1)
 
-	h := New(g, Config{Horizon: 3, Workers: 1, History: 1})
-	id := h.Register(p)
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1, History: 1})
+	id := mustRegister(t, h, p)
 	// Three changing batches; history keeps only the last.
 	for i := uint32(0); i < 3; i++ {
 		if _, _, err := h.ApplyBatch(Batch{D: []updates.Update{
@@ -384,8 +404,8 @@ func TestHubDeltaConsistency(t *testing.T) {
 		p.AddEdge(ids[rng.Intn(4)], ids[rng.Intn(4)], pattern.Bound(1+rng.Intn(3)))
 	}
 
-	h := New(g, Config{Horizon: 3, Workers: 2})
-	id := h.Register(p.Clone())
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 2})
+	id := mustRegister(t, h, p.Clone())
 	prev, _ := h.Match(id)
 	for round := 0; round < 6; round++ {
 		batch := updates.Generate(updates.Balanced(int64(round)*7+1, 0, 8), h.Graph(), p)
@@ -415,8 +435,8 @@ func TestHubDeltaConsistency(t *testing.T) {
 // Session contract also covers.
 func TestHubDefensiveCopies(t *testing.T) {
 	g := lineGraph()
-	h := New(g, Config{Horizon: 3, Workers: 1})
-	id := h.Register(abPattern(g))
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 1})
+	id := mustRegister(t, h, abPattern(g))
 
 	res := h.Result(id, 0)
 	for i := range res {
@@ -467,10 +487,10 @@ func TestHubGlobalSubstrate(t *testing.T) {
 	u1 := p.AddNode("B")
 	p.AddEdge(u0, u1, 2)
 
-	hPart := New(g.Clone(), Config{Horizon: 3, Workers: 2})
-	hGlob := New(g.Clone(), Config{Method: core.INCGPNM, Horizon: 3, Workers: 2})
-	idP := hPart.Register(p.Clone())
-	idG := hGlob.Register(p.Clone())
+	hPart := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: 2})
+	hGlob := mustHub(t, g.Clone(), Config{Method: core.INCGPNM, Horizon: 3, Workers: 2})
+	idP := mustRegister(t, hPart, p.Clone())
+	idG := mustRegister(t, hGlob, p.Clone())
 	for round := 0; round < 4; round++ {
 		batch := updates.Generate(updates.Balanced(int64(round)*13+5, 0, 10), hPart.Graph(), p)
 		if _, _, err := hPart.ApplyBatch(Batch{D: batch.D}); err != nil {

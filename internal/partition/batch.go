@@ -34,7 +34,18 @@ import (
 // internally. Finally the stitched rows of the change log — exactly
 // the rows the subsequent amendment pass queries — are pre-warmed
 // across the pool.
-func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set) {
+//
+// This is the substrate's error boundary: losing a shard mid-batch
+// (transport death, replica divergence) returns an error wrapping
+// shard.ErrSubstrateLost instead of panicking, with the engine
+// poisoned — the data graph and the intra state may disagree about
+// which prefix of the batch applied, so no further mutation or query
+// is allowed (Err reports the sticky loss). Callers drain and rebuild.
+func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set, err error) {
+	if lossErr := e.Err(); lossErr != nil {
+		return nil, nil, lossErr
+	}
+	defer RecoverSubstrateLoss(&err)
 	perUpdate = make([]nodeset.Set, len(ds))
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
@@ -135,5 +146,5 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 
 	// Warm the rows the amendment will query.
 	e.prefetchRows(changeLog)
-	return perUpdate, changeLog
+	return perUpdate, changeLog, nil
 }

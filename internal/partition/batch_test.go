@@ -74,7 +74,7 @@ func TestApplyDataBatchAffectedCoverage(t *testing.T) {
 		var live []uint32
 		g.Nodes(func(id uint32) { live = append(live, id) })
 		batch := makeBatch(rng, g, live, uint32(g.NumIDs()), live[rng.Intn(len(live))])
-		_, changeLog := e.ApplyDataBatch(batch, g)
+		_, changeLog, _ := e.ApplyDataBatch(batch, g)
 		logBits := nodeset.NewBits(g.NumIDs())
 		logBits.AddSet(changeLog)
 		for u := uint32(0); int(u) < n0; u++ {
@@ -101,7 +101,7 @@ func TestApplyDataBatchNoOps(t *testing.T) {
 		{Kind: updates.DataEdgeDelete, From: ids["SE4"], To: ids["SE1"]}, // absent
 		{Kind: updates.DataNodeDelete, Node: 9999},                       // unknown
 	}
-	perUpdate, changeLog := e.ApplyDataBatch(batch, g)
+	perUpdate, changeLog, _ := e.ApplyDataBatch(batch, g)
 	for i, s := range perUpdate {
 		if s != nil {
 			t.Errorf("no-op update %d produced set %v", i, s)

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -102,6 +103,71 @@ type Engine struct {
 	cacheMu  sync.Mutex
 	fwdCache map[uint32][]ballEntry
 	revCache map[uint32][]ballEntry
+
+	// lost poisons the engine after the first shard failure: the
+	// substrate may be half-synchronised relative to the data graph, so
+	// every further answer could be silently wrong. Guarded by lostMu
+	// (shard calls happen on pool workers); once set it never clears.
+	lostMu sync.Mutex
+	lost   error
+}
+
+// Err reports the sticky substrate-loss error (nil while healthy). Once
+// non-nil the engine refuses further work: reads and mutations raise
+// the same error, which boundary methods convert via
+// RecoverSubstrateLoss.
+func (e *Engine) Err() error {
+	e.lostMu.Lock()
+	defer e.lostMu.Unlock()
+	return e.lost
+}
+
+// shardFail records err as the engine's substrate loss (first failure
+// wins) and panics with the sticky error. The panic is how a loss
+// unwinds out of the error-less DistanceEngine query surface — through
+// workpool.ForEach, which re-raises worker panics on the caller — until
+// a boundary method (ApplyDataBatch here, ApplyBatch/Register in
+// internal/hub) converts it back into a return value with
+// RecoverSubstrateLoss. The raw shard error stays wrapped inside, so
+// errors.As still surfaces the *shard.TransportError.
+func (e *Engine) shardFail(err error) {
+	e.lostMu.Lock()
+	if e.lost == nil {
+		e.lost = fmt.Errorf("partition: %w: %w", shard.ErrSubstrateLost, err)
+	}
+	err = e.lost
+	e.lostMu.Unlock()
+	panic(err)
+}
+
+// ensureUsable panics with the sticky loss so a poisoned engine can
+// never advance (or answer from) a diverged substrate.
+func (e *Engine) ensureUsable() {
+	if err := e.Err(); err != nil {
+		panic(err)
+	}
+}
+
+// RecoverSubstrateLoss converts a substrate-loss panic into *err; any
+// other panic is re-raised. Boundary methods defer it to turn the
+// engine's internal unwinding into an ordinary error return:
+//
+//	func (e *Engine) ApplyDataBatch(...) (..., err error) {
+//		defer RecoverSubstrateLoss(&err)
+//		...
+//	}
+//
+// Callers detect the condition with errors.Is(err, shard.ErrSubstrateLost).
+func RecoverSubstrateLoss(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok && errors.Is(e, shard.ErrSubstrateLost) {
+		*err = e
+		return
+	}
+	panic(r)
 }
 
 // invalidate drops the materialised row caches after any mutation.
@@ -252,6 +318,7 @@ func (s *engineSource) GraphSnapshot() shard.Snapshot {
 // Build computes every partition's intra distances (fanned across the
 // shards, each fanning across its own pool) and the overlay APSP.
 func (e *Engine) Build() {
+	e.ensureUsable()
 	e.assignShards()
 	cfg := e.shardConfig()
 	owned := make([][]int, len(e.shards))
@@ -262,14 +329,18 @@ func (e *Engine) Build() {
 	if e.remote {
 		// Remote builds block on the worker; overlap them.
 		parallelFor(len(e.shards), len(e.shards), func(i int) {
-			e.shards[i].Build(cfg, i, owned[i], src)
+			if err := e.shards[i].Build(cfg, i, owned[i], src); err != nil {
+				e.shardFail(err)
+			}
 		})
 	} else {
 		// In-process shards fan partitions across the full pool
 		// themselves; building them one after another avoids
 		// oversubscribing it.
 		for i, sh := range e.shards {
-			sh.Build(cfg, i, owned[i], src)
+			if err := sh.Build(cfg, i, owned[i], src); err != nil {
+				e.shardFail(err)
+			}
 		}
 	}
 	e.ov.build(e.workers)
@@ -315,7 +386,9 @@ func (e *Engine) oracleAlive(id uint32) bool { return e.part.partIndex(id) != no
 // intraBall visits the intra ball of a partition-local node through the
 // owning shard (ascending local-id order).
 func (e *Engine) intraBall(pi int32, local uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
-	e.shards[e.shardOf[pi]].Ball(int(pi), local, maxD, reverse, fn)
+	if err := e.shards[e.shardOf[pi]].Ball(int(pi), local, maxD, reverse, fn); err != nil {
+		e.shardFail(err)
+	}
 }
 
 // intraDist returns the shortest path length from x to y using only
@@ -325,7 +398,11 @@ func (e *Engine) intraDist(x, y uint32) shortest.Dist {
 	if pi == none || pi != e.part.partIndex(y) {
 		return shortest.Inf
 	}
-	return e.shards[e.shardOf[pi]].Dist(int(pi), e.part.localOf[x], e.part.localOf[y])
+	d, err := e.shards[e.shardOf[pi]].Dist(int(pi), e.part.localOf[x], e.part.localOf[y])
+	if err != nil {
+		e.shardFail(err)
+	}
+	return d
 }
 
 // Dist returns the stitched shortest path length from x to y.
@@ -649,6 +726,7 @@ func (e *Engine) PreviewInsertEdge(u, v uint32) nodeset.Set {
 // InsertEdge synchronises the substrate after edge (u,v) was added to
 // the graph and returns the affected superset.
 func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
+	e.ensureUsable()
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageInsertEdge(u, v, &dirty)}, &dirty)
 	if dirty.Len() > 0 {
@@ -717,13 +795,21 @@ func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 				e.settleOp(op, l.ApplyOp(op), dirty)
 				continue
 			}
-			e.settleOp(op, e.shards[op.Shard].ApplyOps([]shard.Op{op})[0], dirty)
+			aff, err := e.shards[op.Shard].ApplyOps([]shard.Op{op})
+			if err != nil {
+				e.shardFail(err)
+			}
+			e.settleOp(op, aff[0], dirty)
 		}
 		return
 	}
 	affs := make([][][]uint32, len(e.shards))
 	parallelFor(len(e.shards), len(e.shards), func(s int) {
-		affs[s] = e.shards[s].ApplyOps(ops)
+		aff, err := e.shards[s].ApplyOps(ops)
+		if err != nil {
+			e.shardFail(err)
+		}
+		affs[s] = aff
 	})
 	for i, op := range ops {
 		if op.Shard >= 0 {
@@ -742,6 +828,7 @@ func (e *Engine) PreviewDeleteEdge(u, v uint32) nodeset.Set {
 // from the graph and returns the affected superset (evaluated in the
 // pre-delete state).
 func (e *Engine) DeleteEdge(u, v uint32) nodeset.Set {
+	e.ensureUsable()
 	aff := e.conservativeEdgeAffected(u, v)
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageDeleteEdge(u, v, &dirty)}, &dirty)
@@ -773,6 +860,7 @@ func (e *Engine) stageDeleteEdge(u, v uint32, dirty *nodeset.Builder) shard.Op {
 
 // InsertNode registers a freshly added (isolated) node.
 func (e *Engine) InsertNode(id uint32) nodeset.Set {
+	e.ensureUsable()
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageInsertNode(id)}, &dirty)
 	e.invalidate()
@@ -809,6 +897,7 @@ func (e *Engine) nodeAffected(id uint32, outs, ins []uint32) nodeset.Set {
 // DeleteNode synchronises the substrate after node id (with incident
 // edges removed, as returned by graph.RemoveNode) was deleted.
 func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
+	e.ensureUsable()
 	var outs, ins []uint32
 	for _, ed := range removed {
 		if ed.From == id {
@@ -860,15 +949,20 @@ func (e *Engine) EnsureHorizon(k int) {
 	if e.horizon == 0 || k <= e.horizon {
 		return
 	}
+	e.ensureUsable()
 	e.horizon = k
 	e.part.horizon = k
 	if e.remote {
 		parallelFor(len(e.shards), len(e.shards), func(i int) {
-			e.shards[i].EnsureHorizon(k)
+			if err := e.shards[i].EnsureHorizon(k); err != nil {
+				e.shardFail(err)
+			}
 		})
 	} else {
 		for _, sh := range e.shards {
-			sh.EnsureHorizon(k)
+			if err := sh.EnsureHorizon(k); err != nil {
+				e.shardFail(err)
+			}
 		}
 	}
 	e.ov.build(e.workers)
@@ -920,7 +1014,7 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 		for i := range all {
 			all[i] = i
 		}
-		l.Build(c.shardConfig(), 0, all, &engineSource{e: c})
+		_ = l.Build(c.shardConfig(), 0, all, &engineSource{e: c}) // in-process: never errors
 	} else {
 		c.shardOf = append([]int32(nil), e.shardOf...)
 		for _, sh := range e.shards {
@@ -983,7 +1077,10 @@ func (e *Engine) remoteAffected(ds []updates.Update, g *graph.Graph, phase4 bool
 		if len(slices[s]) == 0 {
 			return
 		}
-		sets := e.shards[s].Affected(slices[s])
+		sets, err := e.shards[s].Affected(slices[s])
+		if err != nil {
+			e.shardFail(err)
+		}
 		for k, set := range sets {
 			perUpdate[sliceIdx[s][k]] = set
 		}

@@ -33,7 +33,7 @@ func drive(t *testing.T, e *Engine, g *graph.Graph, seed int64, nBatches, perBat
 	logs := make([]string, 0, nBatches)
 	for i := 0; i < nBatches; i++ {
 		b := updates.Generate(updates.Balanced(seed+int64(i), 0, perBatch), g, p)
-		_, changeLog := e.ApplyDataBatch(b.D, g)
+		_, changeLog, _ := e.ApplyDataBatch(b.D, g)
 		logs = append(logs, changeLog.String())
 	}
 	return logs
@@ -153,8 +153,8 @@ func TestParallelEngineStress(t *testing.T) {
 	p := pattern.New(base.Labels())
 	for i := 0; i < 5; i++ {
 		b := updates.Generate(updates.Balanced(int64(7000+i), 0, 40), gs, p)
-		_, logS := serial.ApplyDataBatch(b.D, gs)
-		_, logP := par.ApplyDataBatch(b.D, gp)
+		_, logS, _ := serial.ApplyDataBatch(b.D, gs)
+		_, logP, _ := par.ApplyDataBatch(b.D, gp)
 		if !logS.Equal(logP) {
 			t.Fatalf("batch %d: change log diverged: parallel %v, serial %v", i, logP, logS)
 		}

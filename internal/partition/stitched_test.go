@@ -111,7 +111,7 @@ func TestBatchApplyMatchesSingleOps(t *testing.T) {
 		batch := makeBatch(rng, g, live, newID, victim)
 
 		// Path A: fused batch API.
-		_, _ = e.ApplyDataBatch(batch, g)
+		_, _, _ = e.ApplyDataBatch(batch, g)
 		// Path B: per-update API on the clone.
 		applySingles(t, batch, g2, e2)
 

@@ -68,7 +68,7 @@ func (l *Local) newEngine(sub *graph.Graph, subWorkers int) *shortest.Engine {
 // with fewer partitions than workers, each engine's BFS build gets the
 // leftover share, so a 2-partition graph on a 16-way pool still builds
 // 16-wide instead of 2-wide.
-func (l *Local) Build(cfg Config, index int, owned []int, src Source) {
+func (l *Local) Build(cfg Config, index int, owned []int, src Source) error {
 	l.cfg = cfg
 	for _, p := range owned {
 		l.growTo(p)
@@ -84,13 +84,14 @@ func (l *Local) Build(cfg Config, index int, owned []int, src Source) {
 		e.Build()
 		l.engs[p] = e
 	})
+	return nil
 }
 
 // EnsureHorizon widens every owned engine to cover bound k, one
 // partition per worker.
-func (l *Local) EnsureHorizon(k int) {
+func (l *Local) EnsureHorizon(k int) error {
 	if l.cfg.Horizon == 0 || k <= l.cfg.Horizon {
-		return
+		return nil
 	}
 	l.cfg.Horizon = k
 	workpool.ForEach(l.cfg.Workers, len(l.engs), func(i int) {
@@ -98,22 +99,24 @@ func (l *Local) EnsureHorizon(k int) {
 			l.engs[i].EnsureHorizon(k)
 		}
 	})
+	return nil
 }
 
 // Dist returns the intra distance between two locals of an owned
 // partition.
-func (l *Local) Dist(part int, x, y uint32) shortest.Dist {
-	return l.eng(part).Dist(x, y)
+func (l *Local) Dist(part int, x, y uint32) (shortest.Dist, error) {
+	return l.eng(part).Dist(x, y), nil
 }
 
 // Ball visits the intra ball of src in ascending local-id order.
-func (l *Local) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
+func (l *Local) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) error {
 	e := l.eng(part)
 	if reverse {
 		e.ReverseBall(src, maxD, fn)
-		return
+		return nil
 	}
 	e.ForwardBall(src, maxD, fn)
+	return nil
 }
 
 // ApplyOp synchronises the owning engine after one structural mutation
@@ -152,17 +155,17 @@ func (l *Local) ApplyOp(op Op) []uint32 {
 }
 
 // ApplyOps is the batch form of ApplyOp (the Shard interface surface).
-func (l *Local) ApplyOps(ops []Op) [][]uint32 {
+func (l *Local) ApplyOps(ops []Op) ([][]uint32, error) {
 	aff := make([][]uint32, len(ops))
 	for i, op := range ops {
 		aff[i] = l.ApplyOp(op)
 	}
-	return aff
+	return aff, nil
 }
 
 // Affected is never routed to in-process shards: the coordinator holds
 // the data graph and computes conservative balls directly.
-func (l *Local) Affected(reqs []AffectedReq) []nodeset.Set {
+func (l *Local) Affected(reqs []AffectedReq) ([]nodeset.Set, error) {
 	panic("shard: Affected on an in-process shard (coordinator computes balls locally)")
 }
 

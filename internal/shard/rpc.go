@@ -16,11 +16,12 @@ import (
 	"uagpnm/internal/shortest"
 )
 
-// TransportError is the panic value an RPC shard raises when the worker
-// cannot be reached or answers with an error after retries — the
-// coordinator's DistanceEngine surface has no error channel, and a
-// session that lost a shard's intra state cannot answer correctly
-// (failover is a ROADMAP item).
+// TransportError is the error an RPC shard returns when the worker
+// cannot be reached or answers with an error after retries. A session
+// that lost a shard's intra state cannot answer correctly, so the
+// coordinator wraps it in ErrSubstrateLost and poisons the substrate
+// (failover is a ROADMAP item); errors.Is(err, ErrSubstrateLost) and
+// errors.As(err, &te) both work on what callers observe.
 type TransportError struct {
 	Addr string
 	Op   string
@@ -116,10 +117,10 @@ func (r *RPC) Remote() bool { return true }
 // Retrying a non-idempotent /ops whose response was lost re-applies
 // the batch; the worker's replica then rejects the duplicate mutation
 // and the coordinator fails loudly rather than diverging silently.
-func (r *RPC) post(op, path string, in, out interface{}) {
+func (r *RPC) post(op, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
-		panic(&TransportError{Addr: r.base, Op: op, Err: err})
+		return &TransportError{Addr: r.base, Op: op, Err: err}
 	}
 	var last error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -130,7 +131,7 @@ func (r *RPC) post(op, path string, in, out interface{}) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
 		if err != nil {
 			cancel()
-			panic(&TransportError{Addr: r.base, Op: op, Err: err})
+			return &TransportError{Addr: r.base, Op: op, Err: err}
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := r.hc.Do(req)
@@ -147,17 +148,17 @@ func (r *RPC) post(op, path string, in, out interface{}) {
 			continue
 		}
 		if resp.StatusCode/100 != 2 {
-			panic(&TransportError{Addr: r.base, Op: op,
-				Err: fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))})
+			return &TransportError{Addr: r.base, Op: op,
+				Err: fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))}
 		}
 		if out != nil {
 			if err := json.Unmarshal(data, out); err != nil {
-				panic(&TransportError{Addr: r.base, Op: op, Err: err})
+				return &TransportError{Addr: r.base, Op: op, Err: err}
 			}
 		}
-		return
+		return nil
 	}
-	panic(&TransportError{Addr: r.base, Op: op, Err: last})
+	return &TransportError{Addr: r.base, Op: op, Err: last}
 }
 
 func (r *RPC) dropRows() {
@@ -169,36 +170,44 @@ func (r *RPC) dropRows() {
 // Build ships the coordinator's snapshots — the owned partitions'
 // subgraphs plus the full data-graph adjacency — and blocks until the
 // worker has built its intra engines.
-func (r *RPC) Build(cfg Config, index int, owned []int, src Source) {
+func (r *RPC) Build(cfg Config, index int, owned []int, src Source) error {
 	req := buildRequest{Config: cfg, Index: index, Graph: src.GraphSnapshot()}
 	for _, p := range owned {
 		req.Parts = append(req.Parts, src.PartSnapshot(p))
 	}
-	r.post("build", "/build", req, nil)
+	if err := r.post("build", "/build", req, nil); err != nil {
+		return err
+	}
 	r.dropRows()
+	return nil
 }
 
 // EnsureHorizon widens the worker's engines to cover bound k.
-func (r *RPC) EnsureHorizon(k int) {
-	r.post("horizon", "/horizon", map[string]int{"k": k}, nil)
+func (r *RPC) EnsureHorizon(k int) error {
+	if err := r.post("horizon", "/horizon", map[string]int{"k": k}, nil); err != nil {
+		return err
+	}
 	r.dropRows()
+	return nil
 }
 
 // row returns the cached full-horizon intra row, fetching on a miss.
 // Concurrent misses on one key may fetch twice; the rows are identical
 // and the second install overwrites harmlessly.
-func (r *RPC) row(part int, src uint32, reverse bool) []rowEntry {
+func (r *RPC) row(part int, src uint32, reverse bool) ([]rowEntry, error) {
 	key := rowKey{part, src, reverse}
 	r.mu.Lock()
 	row, ok := r.rows[key]
 	r.mu.Unlock()
 	if ok {
-		return row
+		return row, nil
 	}
 	var resp rowResponse
-	r.post("row", "/row", map[string]interface{}{
+	if err := r.post("row", "/row", map[string]interface{}{
 		"part": part, "src": src, "reverse": reverse,
-	}, &resp)
+	}, &resp); err != nil {
+		return nil, err
+	}
 	row = make([]rowEntry, len(resp.Nodes))
 	for i, n := range resp.Nodes {
 		row[i] = rowEntry{n, resp.Dists[i]}
@@ -206,62 +215,75 @@ func (r *RPC) row(part int, src uint32, reverse bool) []rowEntry {
 	r.mu.Lock()
 	r.rows[key] = row
 	r.mu.Unlock()
-	return row
+	return row, nil
 }
 
 // Dist answers an intra distance off the cached forward row of x.
-func (r *RPC) Dist(part int, x, y uint32) shortest.Dist {
-	row := r.row(part, x, false)
+func (r *RPC) Dist(part int, x, y uint32) (shortest.Dist, error) {
+	row, err := r.row(part, x, false)
+	if err != nil {
+		return shortest.Inf, err
+	}
 	i := sort.Search(len(row), func(i int) bool { return row[i].node >= y })
 	if i < len(row) && row[i].node == y {
-		return row[i].d
+		return row[i].d, nil
 	}
-	return shortest.Inf
+	return shortest.Inf, nil
 }
 
 // Ball visits the intra ball of src (ascending local id) from the
 // cached full-horizon row.
-func (r *RPC) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
+func (r *RPC) Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) error {
 	if maxD < 0 {
-		return
+		return nil
 	}
-	for _, en := range r.row(part, src, reverse) {
+	row, err := r.row(part, src, reverse)
+	if err != nil {
+		return err
+	}
+	for _, en := range row {
 		if int(en.d) > maxD {
 			continue
 		}
 		if !fn(en.node, en.d) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // ApplyOps streams one ordered op batch to the worker and returns the
 // per-op affected sets of the partitions this worker owns.
-func (r *RPC) ApplyOps(ops []Op) [][]uint32 {
+func (r *RPC) ApplyOps(ops []Op) ([][]uint32, error) {
 	var resp opsResponse
-	r.post("ops", "/ops", map[string]interface{}{"ops": ops}, &resp)
-	r.dropRows()
-	if len(resp.Aff) != len(ops) {
-		panic(&TransportError{Addr: r.base, Op: "ops",
-			Err: fmt.Errorf("worker answered %d affected sets for %d ops", len(resp.Aff), len(ops))})
+	err := r.post("ops", "/ops", map[string]interface{}{"ops": ops}, &resp)
+	r.dropRows() // the worker may have applied a prefix even on failure
+	if err != nil {
+		return nil, err
 	}
-	return resp.Aff
+	if len(resp.Aff) != len(ops) {
+		return nil, &TransportError{Addr: r.base, Op: "ops",
+			Err: fmt.Errorf("worker answered %d affected sets for %d ops", len(resp.Aff), len(ops))}
+	}
+	return resp.Aff, nil
 }
 
 // Affected computes conservative balls against the worker's data-graph
 // replica.
-func (r *RPC) Affected(reqs []AffectedReq) []nodeset.Set {
+func (r *RPC) Affected(reqs []AffectedReq) ([]nodeset.Set, error) {
 	var resp affectedResponse
-	r.post("affected", "/affected", map[string]interface{}{"reqs": reqs}, &resp)
+	if err := r.post("affected", "/affected", map[string]interface{}{"reqs": reqs}, &resp); err != nil {
+		return nil, err
+	}
 	if len(resp.Sets) != len(reqs) {
-		panic(&TransportError{Addr: r.base, Op: "affected",
-			Err: fmt.Errorf("worker answered %d sets for %d requests", len(resp.Sets), len(reqs))})
+		return nil, &TransportError{Addr: r.base, Op: "affected",
+			Err: fmt.Errorf("worker answered %d sets for %d requests", len(resp.Sets), len(reqs))}
 	}
 	out := make([]nodeset.Set, len(resp.Sets))
 	for i, s := range resp.Sets {
 		out[i] = nodeset.Set(s)
 	}
-	return out
+	return out, nil
 }
 
 // Close drops cached rows and idle connections; the worker process

@@ -109,7 +109,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		owned = append(owned, snap.Part)
 	}
 	s.local = NewLocal(s.subOf)
-	s.local.Build(req.Config, req.Index, owned, nil)
+	_ = s.local.Build(req.Config, req.Index, owned, nil) // in-process: never errors
 	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "parts": len(s.subs)})
 }
 
@@ -124,7 +124,7 @@ func (s *Server) handleHorizon(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	if s.cfg.Horizon != 0 && req.K > s.cfg.Horizon {
 		s.cfg.Horizon = req.K
-		s.local.EnsureHorizon(req.K)
+		_ = s.local.EnsureHorizon(req.K) // in-process: never errors
 	}
 	srvutil.WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
@@ -151,7 +151,7 @@ func (s *Server) handleRow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp rowResponse
-	s.local.Ball(req.Part, req.Src, capHops(s.cfg.Horizon), req.Reverse,
+	_ = s.local.Ball(req.Part, req.Src, capHops(s.cfg.Horizon), req.Reverse,
 		func(v uint32, d shortest.Dist) bool {
 			resp.Nodes = append(resp.Nodes, v)
 			resp.Dists = append(resp.Dists, d)

@@ -27,10 +27,22 @@
 package shard
 
 import (
+	"errors"
+
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/shortest"
 )
+
+// ErrSubstrateLost marks the distance substrate as unrecoverable: a
+// shard holding part of the intra SLen state failed (transport death,
+// state divergence) after retries, so every further answer from the
+// session it served could be silently wrong. The partition engine wraps
+// each shard failure in this sentinel and poisons itself; coordinators
+// (hub, Service front ends) surface it with errors.Is and drain.
+// Failover — rebuilding the lost partitions from the coordinator's
+// subgraph mirrors — is the ROADMAP follow-on this seam exists for.
+var ErrSubstrateLost = errors.New("substrate lost")
 
 // Config carries the engine parameters every shard needs to build and
 // maintain its intra engines.
@@ -148,12 +160,15 @@ type AffectedReq struct {
 
 // Shard is the per-partition half of the §V substrate.
 //
-// Error model: implementations either succeed or panic — the engine's
-// DistanceEngine surface has no error channel, and a shard that has
-// lost its state (or its transport) cannot answer anything correctly.
-// The RPC implementation panics with a *TransportError after its
-// retries are exhausted; a coordinator losing a shard loses the
-// session (failover is a ROADMAP item).
+// Error model: every method that can lose state or transport returns an
+// error. A non-nil error means the shard's intra state is no longer
+// trustworthy — the RPC implementation returns a *TransportError after
+// its retries are exhausted — and the coordinator (internal/partition)
+// poisons the whole substrate with ErrSubstrateLost rather than letting
+// a half-synchronised engine keep answering. In-process shards never
+// return errors; their contract violations (unowned partitions, bad
+// ops) remain panics, because they are programming bugs, not
+// operational failures.
 type Shard interface {
 	// Remote reports whether ops must be streamed to this shard even
 	// when it owns none of the touched partitions (replica
@@ -165,31 +180,31 @@ type Shard interface {
 	// the coordinator state exposed by src. index is this shard's
 	// position in the coordinator's shard table (echoed back in
 	// Op.Shard).
-	Build(cfg Config, index int, owned []int, src Source)
+	Build(cfg Config, index int, owned []int, src Source) error
 
 	// EnsureHorizon widens every owned intra engine to cover bound k.
-	EnsureHorizon(k int)
+	EnsureHorizon(k int) error
 
 	// Dist returns the intra-partition distance between two locals of
 	// an owned partition.
-	Dist(part int, x, y uint32) shortest.Dist
+	Dist(part int, x, y uint32) (shortest.Dist, error)
 
 	// Ball visits the intra ball of src in ascending local-id order
 	// (src included at 0), stopping early when fn returns false. Safe
 	// for concurrent use between mutations.
-	Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool)
+	Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) error
 
 	// ApplyOps applies one ordered batch of mutations (already applied
 	// to the coordinator's structures) and returns, aligned by index,
 	// the partition-local affected set of every op this shard owns
 	// (nil for replica-only and foreign ops).
-	ApplyOps(ops []Op) [][]uint32
+	ApplyOps(ops []Op) ([][]uint32, error)
 
 	// Affected computes the conservative affected-ball supersets of
 	// the given updates against the shard's data-graph replica. Only
 	// remote shards implement it meaningfully; in-process shards never
 	// receive it (the coordinator computes balls off its own graph).
-	Affected(reqs []AffectedReq) []nodeset.Set
+	Affected(reqs []AffectedReq) ([]nodeset.Set, error)
 
 	// Close releases the shard (remote: closes idle connections; the
 	// worker process itself stays up for the next coordinator).

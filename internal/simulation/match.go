@@ -73,6 +73,23 @@ func (m *Match) Equal(o *Match) bool {
 	return equal
 }
 
+// MatchFromSets reconstructs a match over p from raw per-node
+// simulation images (SimulationSet values, pre-BGS projection) — the
+// wire-decoding path of the remote client (internal/api). sets is
+// consulted once per alive pattern node; the returned match owns
+// private bitsets, so the slices handed back by sets are not retained.
+func MatchFromSets(p *pattern.Graph, sets func(u pattern.NodeID) nodeset.Set) *Match {
+	m := &Match{p: p, sets: make([]*nodeset.Bits, p.NumIDs())}
+	p.Nodes(func(u pattern.NodeID) {
+		b := nodeset.NewBits(0)
+		for _, id := range sets(u) {
+			b.Add(id)
+		}
+		m.sets[u] = b
+	})
+	return m
+}
+
 // Clone returns an independent deep copy bound to the given pattern
 // (pass the same pattern, or its clone).
 func (m *Match) Clone(p *pattern.Graph) *Match {

@@ -49,6 +49,18 @@ func Decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 // It returns nil on a clean signal-driven shutdown and the serve/
 // shutdown error otherwise.
 func ListenAndServe(addr string, h http.Handler, name string, grace time.Duration, logw io.Writer) error {
+	return ListenAndServeUntil(addr, h, name, grace, logw, nil)
+}
+
+// ListenAndServeUntil is ListenAndServe with an additional programmatic
+// shutdown trigger: closing stop starts the same graceful drain a
+// SIGTERM would — the listener closes, request contexts are cancelled
+// so parked long-polls answer immediately, and in-flight requests get
+// the grace window. gpnm-serve uses it to drain cleanly when the hub
+// loses a substrate shard mid-batch, instead of the old recover-and-
+// os.Exit path that severed every open connection. A nil stop behaves
+// exactly like ListenAndServe.
+func ListenAndServeUntil(addr string, h http.Handler, name string, grace time.Duration, logw io.Writer, stop <-chan struct{}) error {
 	if grace <= 0 {
 		grace = 30 * time.Second
 	}
@@ -70,8 +82,8 @@ func ListenAndServe(addr string, h http.Handler, name string, grace time.Duratio
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -82,13 +94,16 @@ func ListenAndServe(addr string, h http.Handler, name string, grace time.Duratio
 		errc <- nil
 	}()
 
+	why := "signal"
 	select {
 	case err := <-errc:
 		return err // bind failure or serve error before any signal
 	case <-ctx.Done():
+	case <-stop:
+		why = "stop requested"
 	}
-	stop() // restore default signal behaviour: a second ^C kills hard
-	logf("shutting down (signal), draining for up to %s", grace)
+	stopSignals() // restore default signal behaviour: a second ^C kills hard
+	logf("shutting down (%s), draining for up to %s", why, grace)
 	cancelBase() // wake long-polls so the drain takes ms, not a poll window
 
 	sdCtx, cancel := context.WithTimeout(context.Background(), grace)

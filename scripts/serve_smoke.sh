@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Smoke test for cmd/gpnm-serve: start the server on a tiny known graph,
-# register a pattern, apply an update batch, and assert the delta comes
-# back over HTTP. Needs only curl + grep; CI runs it after the unit
-# suite (`make smoke` locally).
+# Smoke test for cmd/gpnm-serve: start the server on a tiny known graph
+# and drive it three ways — the versioned /v1 routes, the legacy
+# unversioned aliases, and the gpnm CLI's -server mode (which exercises
+# uagpnm.Dial end to end from a real binary). Needs only curl + grep;
+# CI runs it after the unit suite (`make smoke` locally).
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-18080}"
@@ -23,42 +24,69 @@ cat > "$DIR/g.labels" <<'EOF'
 1 SE
 2 PM
 EOF
+cat > "$DIR/p.txt" <<'EOF'
+node pm PM
+node se SE
+edge pm se 2
+EOF
+cat > "$DIR/u.txt" <<'EOF'
++e 2 1
+EOF
 
 go build -o "$DIR/gpnm-serve" ./cmd/gpnm-serve
+go build -o "$DIR/gpnm" ./cmd/gpnm
 "$DIR/gpnm-serve" -addr "127.0.0.1:${PORT}" -graph "$DIR/g.txt" -labels "$DIR/g.labels" -horizon 3 &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
-  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  if curl -sf "$BASE/v1/healthz" > /dev/null 2>&1; then break; fi
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
     echo "smoke: server died before becoming healthy" >&2; exit 1
   fi
   sleep 0.2
 done
-curl -sf "$BASE/healthz" | grep -q '"ok":true' || { echo "smoke: healthz failed" >&2; exit 1; }
 
-# Register a PM-within-2-of-SE pattern; initially only node 0 matches.
-REG=$(curl -sf -X POST "$BASE/patterns" \
+# Both route families answer health.
+curl -sf "$BASE/v1/healthz" | grep -q '"ok":true' || { echo "smoke: /v1/healthz failed" >&2; exit 1; }
+curl -sf "$BASE/healthz" | grep -q '"ok":true' || { echo "smoke: legacy /healthz failed" >&2; exit 1; }
+
+# --- /v1 route family: register (DSL), typed apply, snapshot, poll ---
+REG=$(curl -sf -X POST "$BASE/v1/patterns" \
   -d '{"pattern":"node pm PM\nnode se SE\nedge pm se 2\n"}')
-echo "register: $REG"
+echo "v1 register: $REG"
 ID=$(echo "$REG" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
 [ -n "$ID" ] || { echo "smoke: no pattern id in $REG" >&2; exit 1; }
 echo "$REG" | grep -q '"matches":\[0\]' || { echo "smoke: unexpected initial result" >&2; exit 1; }
 
-# Apply: connect the second PM (node 2) to the SE; its id must show up
-# as an addition for pattern node 0.
-DELTA=$(curl -sf -X POST "$BASE/apply" -d '{"data":"+e 2 1\n"}')
-echo "apply: $DELTA"
-echo "$DELTA" | grep -q '"added":\[2\]' || { echo "smoke: delta missed the new match" >&2; exit 1; }
+# Typed update batch: connect the second PM (node 2) to the SE.
+DELTA=$(curl -sf -X POST "$BASE/v1/apply" \
+  -d '{"updates":[{"op":"+e","from":2,"to":1}]}')
+echo "v1 apply: $DELTA"
+echo "$DELTA" | grep -q '"added":\[2\]' || { echo "smoke: typed delta missed the new match" >&2; exit 1; }
 
-# The long-poll path returns the same retained delta for a subscriber at
-# sequence 0.
-POLL=$(curl -sf "$BASE/patterns/$ID/deltas?since=0&timeout=2s")
-echo "poll: $POLL"
-echo "$POLL" | grep -q '"added":\[2\]' || { echo "smoke: long-poll missed the delta" >&2; exit 1; }
+POLL=$(curl -sf "$BASE/v1/patterns/$ID/deltas?since=0&timeout=2s")
+echo "$POLL" | grep -q '"added":\[2\]' || { echo "smoke: /v1 long-poll missed the delta" >&2; exit 1; }
 
-# Full result now lists both PMs.
+SNAP=$(curl -sf "$BASE/v1/patterns/$ID/snapshot")
+echo "$SNAP" | grep -q '"sim":\[0,2\]' || { echo "smoke: snapshot missing raw sim sets: $SNAP" >&2; exit 1; }
+
+# Machine-readable error codes.
+CODE=$(curl -s "$BASE/v1/patterns/999")
+echo "$CODE" | grep -q '"code":"unknown_pattern"' || { echo "smoke: missing error code: $CODE" >&2; exit 1; }
+
+# --- legacy aliases: script apply + result ---
+L_DELTA=$(curl -sf -X POST "$BASE/apply" -d '{"data":"-e 2 1\n"}')
+echo "legacy apply: $L_DELTA"
+echo "$L_DELTA" | grep -q '"removed":\[2\]' || { echo "smoke: legacy delta missed the removal" >&2; exit 1; }
 RES=$(curl -sf "$BASE/patterns/$ID")
-echo "$RES" | grep -q '"matches":\[0,2\]' || { echo "smoke: final result wrong: $RES" >&2; exit 1; }
+echo "$RES" | grep -q '"matches":\[0\]' || { echo "smoke: legacy result wrong: $RES" >&2; exit 1; }
+
+# --- client binary: gpnm -server runs the query through uagpnm.Dial ---
+CLI=$("$DIR/gpnm" -server "127.0.0.1:${PORT}" -pattern "$DIR/p.txt" -updates "$DIR/u.txt")
+echo "$CLI"
+echo "$CLI" | grep -q 'IQuery result' || { echo "smoke: CLI produced no initial result" >&2; exit 1; }
+# The +e 2 1 batch re-admits PM 2: the final result lists both PMs.
+echo "$CLI" | grep -q 'SQuery result' || { echo "smoke: CLI produced no SQuery result" >&2; exit 1; }
+echo "$CLI" | grep -q '{0, 2}' || { echo "smoke: CLI final result wrong" >&2; exit 1; }
 
 echo "smoke: OK"

@@ -1,0 +1,134 @@
+package uagpnm
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// serviceGraph builds the quickstart graph: 0:PM→1:SE, 2:PM isolated.
+func serviceGraph() *Graph {
+	g := NewGraph()
+	g.AddNode("PM")
+	g.AddNode("SE")
+	g.AddNode("PM")
+	g.AddEdge(0, 1)
+	return g
+}
+
+func servicePattern(g *Graph) *Pattern {
+	p := NewPattern(g)
+	pm := p.AddNode("PM")
+	se := p.AddNode("SE")
+	p.AddEdge(pm, se, 2)
+	return p
+}
+
+// TestServiceLocalAndRemote runs the identical scenario against both
+// Service implementations — the in-process Hub and a Dial client over
+// NewHandler — through the interface alone, asserting the same answers
+// at every step. This is the acceptance pin for "one Service interface
+// for local and remote hubs".
+func TestServiceLocalAndRemote(t *testing.T) {
+	ctx := context.Background()
+
+	makeLocal := func(t *testing.T) Service {
+		h, err := NewHub(serviceGraph(), HubOptions{Horizon: 3, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	makeRemote := func(t *testing.T) Service {
+		h, err := NewHub(serviceGraph(), HubOptions{Horizon: 3, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewHandler(h, HandlerOptions{PollTimeout: 2 * time.Second}))
+		t.Cleanup(ts.Close)
+		c, err := Dial(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	for _, tc := range []struct {
+		name string
+		make func(t *testing.T) Service
+	}{
+		{"hub", makeLocal},
+		{"dial", makeRemote},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := tc.make(t)
+
+			id, err := svc.Register(ctx, servicePattern(NewGraph()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := svc.Result(ctx, id, 0); err != nil || !got.Equal(NodeSet{0}) {
+				t.Fatalf("initial result = %v (err %v), want {0}", got, err)
+			}
+
+			deltas, stats, err := svc.ApplyBatch(ctx, HubBatch{D: []Update{InsertEdge(2, 1)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Seq != 1 || len(deltas) != 1 || len(deltas[0].Nodes) != 1 ||
+				!deltas[0].Nodes[0].Added.Equal(NodeSet{2}) {
+				t.Fatalf("apply = %+v / %+v", deltas, stats)
+			}
+
+			p, m, seq, err := svc.Snapshot(ctx, id)
+			if err != nil || seq != 1 {
+				t.Fatalf("snapshot err %v seq %d", err, seq)
+			}
+			if p.NumNodes() != 2 || !m.Total() || !m.Nodes(0).Equal(NodeSet{0, 2}) {
+				t.Fatalf("snapshot = %v nodes / total %v / %v", p.NumNodes(), m.Total(), m.Nodes(0))
+			}
+
+			ds, resync, err := svc.WaitDeltas(ctx, id, 0)
+			if err != nil || resync || len(ds) != 1 || ds[0].Seq != 1 {
+				t.Fatalf("WaitDeltas = %v resync=%v err=%v", ds, resync, err)
+			}
+
+			// ctx expiry unblocks an ahead-of-tip poll with ctx's error.
+			short, cancel := context.WithTimeout(ctx, 150*time.Millisecond)
+			_, _, err = svc.WaitDeltas(short, id, 1)
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("ahead-of-tip poll err = %v, want deadline", err)
+			}
+
+			if err := svc.Unregister(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Result(ctx, id, 0); !errors.Is(err, ErrUnknownPattern) {
+				t.Fatalf("result after unregister = %v, want ErrUnknownPattern", err)
+			}
+			if _, _, _, err := svc.Snapshot(ctx, id); !errors.Is(err, ErrUnknownPattern) {
+				t.Fatalf("snapshot after unregister = %v, want ErrUnknownPattern", err)
+			}
+			if _, _, err := svc.WaitDeltas(ctx, id, 0); !errors.Is(err, ErrUnknownPattern) {
+				t.Fatalf("poll after unregister = %v, want ErrUnknownPattern", err)
+			}
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDialRefusesDeadServer: Dial verifies liveness up front.
+func TestDialRefusesDeadServer(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	addr := ts.URL
+	ts.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("Dial against a dead server must error")
+	}
+}

@@ -36,7 +36,10 @@ package uagpnm
 import (
 	"context"
 	"io"
+	"net/http"
+	"time"
 
+	"uagpnm/internal/api"
 	"uagpnm/internal/core"
 	"uagpnm/internal/datasets"
 	"uagpnm/internal/graph"
@@ -44,6 +47,7 @@ import (
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/patgen"
 	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/simulation"
 	"uagpnm/internal/updates"
 )
@@ -255,6 +259,13 @@ func GenerateBatch(seed int64, pTotal, dTotal int, g *Graph, p *Pattern) Batch {
 	return updates.Generate(updates.Balanced(seed, pTotal, dTotal), g, p)
 }
 
+// ApplyDataUpdates applies a batch's data-side updates structurally to
+// g — graph mutation only, no substrate maintenance. A driver feeding a
+// remote hub through the client SDK uses it to keep a local graph
+// mirror consistent for generating the next batch (the hub applies the
+// same updates to its own graph inside ApplyBatch).
+func ApplyDataUpdates(g *Graph, ds []Update) { updates.ApplyDataStructural(ds, g) }
+
 // SocialGraphConfig parameterises the synthetic social graph generator.
 type SocialGraphConfig = datasets.SocialConfig
 
@@ -264,7 +275,55 @@ func GenerateSocialGraph(cfg SocialGraphConfig) *Graph {
 	return datasets.GenerateSocial(cfg)
 }
 
-// Standing-query hub — one SLen substrate serving many patterns.
+// Standing-query serving — one Service interface for local and remote
+// hubs.
+
+// Service is the serving surface of a standing-query hub: register
+// patterns, apply update batches, read results, subscribe to deltas.
+// Two implementations exist and answer identically batch for batch
+// (the differential suite pins it):
+//
+//   - *Hub — the in-process hub: NewHub(g, opts).
+//   - *Client — a remote hub over the versioned HTTP/JSON protocol:
+//     Dial(addr) against a gpnm-serve process (or any handler from
+//     NewHandler).
+//
+// Every method is context-aware and error-returning. The in-process
+// implementation runs synchronously and consults ctx only where it
+// blocks (WaitDeltas); the remote one honours ctx on every round trip.
+// Operational failure surfaces as errors, never panics: a hub whose
+// sharded distance substrate died returns ErrSubstrateLost (check with
+// errors.Is) from every method until the process is rebuilt.
+type Service interface {
+	// Register adds p as a standing query, answers its initial query,
+	// and returns its id.
+	Register(ctx context.Context, p *Pattern) (PatternID, error)
+	// Unregister removes a standing query (ErrUnknownPattern if absent).
+	Unregister(ctx context.Context, id PatternID) error
+	// ApplyBatch processes one update batch for every standing query,
+	// returning one delta per pattern in registration order plus the
+	// batch's shared-work stats.
+	ApplyBatch(ctx context.Context, b HubBatch) ([]HubDelta, HubBatchStats, error)
+	// Result returns the node matching result Npi for pattern node u of
+	// standing query id (empty unless the match is total).
+	Result(ctx context.Context, id PatternID, u PatternNodeID) (NodeSet, error)
+	// Snapshot returns a mutually consistent (pattern, match, sequence)
+	// view of one standing query.
+	Snapshot(ctx context.Context, id PatternID) (*Pattern, *Match, uint64, error)
+	// WaitDeltas long-polls for deltas with Seq > since; resync reports
+	// the subscriber fell behind the retained history.
+	WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []HubDelta, resync bool, err error)
+	// Close releases the service's resources (remote connections,
+	// substrate shards). The service is unusable afterwards.
+	Close() error
+}
+
+// ErrSubstrateLost reports that a hub's sharded distance substrate
+// died (a gpnm-shard worker became unreachable or diverged): results
+// can no longer be trusted, every Service call fails with this error,
+// and the serving process should drain and rebuild. Detect it with
+// errors.Is; the causing shard transport error stays wrapped inside.
+var ErrSubstrateLost = shard.ErrSubstrateLost
 
 // PatternID identifies a pattern registered with a Hub.
 type PatternID = hub.PatternID
@@ -317,22 +376,36 @@ type HubOptions struct {
 // Hub hosts many registered patterns as standing queries over one data
 // graph and one shared SLen substrate: each update batch pays the
 // substrate synchronisation once, then amends every pattern's result in
-// parallel. Unlike Session, a Hub is safe for concurrent use. See
+// parallel. Unlike Session, a Hub is safe for concurrent use; it is the
+// in-process Service implementation (Dial returns the remote one). See
 // internal/hub for the phase/epoch discipline.
+//
+// Hub methods run synchronously under the hub's internal locking and do
+// not abort mid-batch on context cancellation (a half-applied batch
+// would corrupt the substrate); ctx is consulted where the hub blocks —
+// WaitDeltas — matching the Service contract.
 type Hub struct {
 	inner *hub.Hub
 }
 
+var _ Service = (*Hub)(nil)
+
 // NewHub builds the shared substrate for g and returns an empty hub.
-// The hub owns g afterwards.
-func NewHub(g *Graph, opts HubOptions) *Hub {
-	return &Hub{inner: hub.New(g, hub.Config{
+// The hub owns g afterwards. With HubOptions.Shards set the build talks
+// to remote workers and can fail with ErrSubstrateLost; an in-process
+// build never errors.
+func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
+	inner, err := hub.New(g, hub.Config{
 		Method:  opts.Method,
 		Horizon: opts.Horizon,
 		Workers: opts.Workers,
 		Shards:  opts.Shards,
 		History: opts.History,
-	})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{inner: inner}, nil
 }
 
 // Register adds p as a standing query, answers its initial query, and
@@ -340,15 +413,20 @@ func NewHub(g *Graph, opts HubOptions) *Hub {
 // hub concurrently (its construction interns labels into the shared
 // table); front ends registering patterns while batches fly should use
 // RegisterScript, which parses under the hub's lock.
-func (h *Hub) Register(p *Pattern) PatternID { return h.inner.Register(p) }
+func (h *Hub) Register(ctx context.Context, p *Pattern) (PatternID, error) {
+	return h.inner.Register(p)
+}
 
 // RegisterScript parses a pattern in the textual format against the hub
 // graph's label table — atomically with respect to concurrent batches —
 // and registers it.
 func (h *Hub) RegisterScript(r io.Reader) (PatternID, error) { return h.inner.RegisterScript(r) }
 
-// Unregister removes a standing query, reporting whether it existed.
-func (h *Hub) Unregister(id PatternID) bool { return h.inner.Unregister(id) }
+// Unregister removes a standing query; ErrUnknownPattern if id is not
+// (or no longer) registered, ErrSubstrateLost on a poisoned hub.
+func (h *Hub) Unregister(ctx context.Context, id PatternID) error {
+	return h.inner.UnregisterErr(id)
+}
 
 // Patterns lists the registered ids in registration order.
 func (h *Hub) Patterns() []PatternID { return h.inner.Patterns() }
@@ -358,14 +436,16 @@ func (h *Hub) Patterns() []PatternID { return h.inner.Patterns() }
 // and returns one delta per pattern in registration order, plus this
 // batch's own shared-work stats (use these rather than LastBatch when
 // other goroutines may be applying batches concurrently).
-func (h *Hub) ApplyBatch(b HubBatch) ([]HubDelta, HubBatchStats, error) {
+func (h *Hub) ApplyBatch(ctx context.Context, b HubBatch) ([]HubDelta, HubBatchStats, error) {
 	return h.inner.ApplyBatch(b)
 }
 
 // Result returns the node matching result Npi of pattern node u within
 // standing query id (freshly materialised; empty unless the pattern's
-// match is total).
-func (h *Hub) Result(id PatternID, u PatternNodeID) NodeSet { return h.inner.Result(id, u) }
+// match is total). ErrUnknownPattern if id is not registered.
+func (h *Hub) Result(ctx context.Context, id PatternID, u PatternNodeID) (NodeSet, error) {
+	return h.inner.ResultErr(id, u)
+}
 
 // Match returns a defensive deep copy of standing query id's current
 // match.
@@ -377,8 +457,9 @@ func (h *Hub) PatternGraph(id PatternID) (*Pattern, bool) { return h.inner.Patte
 
 // Snapshot returns a mutually consistent (pattern, match, sequence)
 // view of one standing query, taken under a single hub lock
-// acquisition; both graphs are defensive clones.
-func (h *Hub) Snapshot(id PatternID) (p *Pattern, m *Match, seq uint64, ok bool) {
+// acquisition; both graphs are defensive clones. ErrUnknownPattern if
+// id is not registered.
+func (h *Hub) Snapshot(ctx context.Context, id PatternID) (*Pattern, *Match, uint64, error) {
 	return h.inner.Snapshot(id)
 }
 
@@ -401,6 +482,11 @@ func (h *Hub) LastBatch() HubBatchStats { return h.inner.LastBatch() }
 // serving.
 func (h *Hub) Close() error { return h.inner.Close() }
 
+// Err reports the hub's sticky ErrSubstrateLost (nil while healthy) —
+// what a serving process checks after its drain to decide whether to
+// exit for a supervisor restart.
+func (h *Hub) Err() error { return h.inner.Err() }
+
 // Stats reports the per-pattern pass statistics of id's last amendment.
 func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.PatternStats(id) }
 
@@ -411,6 +497,107 @@ func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.Patte
 // refetch the full result.
 func (h *Hub) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []HubDelta, resync bool, err error) {
 	return h.inner.WaitDeltas(ctx, id, since)
+}
+
+// Remote client — the Service implementation over the wire.
+
+// Client is a remote hub: the same Service surface as *Hub, served by
+// a gpnm-serve process (or any NewHandler handler) over the versioned
+// HTTP/JSON protocol. Results equal the in-process hub's batch for
+// batch. Safe for concurrent use.
+//
+// Differences from *Hub worth knowing: Register leaves ownership of
+// the pattern with the caller (it travels by value over the wire), and
+// Snapshot's returned pattern is rebuilt against a client-local label
+// table — names, bounds and node ids are preserved, label ids are not
+// comparable across processes.
+type Client struct {
+	inner *api.Client
+}
+
+var _ Service = (*Client)(nil)
+
+// Dial connects to the hub server at addr ("host:port" or a full
+// http:// URL), verifying it is alive and healthy. A server that has
+// lost its substrate refuses the dial.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial under a caller-controlled context.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	c, err := api.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: c}, nil
+}
+
+// Addr returns the server's base URL.
+func (c *Client) Addr() string { return c.inner.Addr() }
+
+// Register registers p as a standing query on the remote hub and
+// returns its id. The caller keeps p.
+func (c *Client) Register(ctx context.Context, p *Pattern) (PatternID, error) {
+	return c.inner.Register(ctx, p)
+}
+
+// Unregister removes a standing query; ErrUnknownPattern if absent.
+func (c *Client) Unregister(ctx context.Context, id PatternID) error {
+	return c.inner.Unregister(ctx, id)
+}
+
+// ApplyBatch applies one update batch on the remote hub. Transport
+// errors are returned without retry — the batch may have applied before
+// the response was lost, and re-sending would double-mutate the graph;
+// resynchronise via Snapshot instead.
+func (c *Client) ApplyBatch(ctx context.Context, b HubBatch) ([]HubDelta, HubBatchStats, error) {
+	return c.inner.ApplyBatch(ctx, b)
+}
+
+// Result returns the node matching result Npi of pattern node u within
+// standing query id.
+func (c *Client) Result(ctx context.Context, id PatternID, u PatternNodeID) (NodeSet, error) {
+	return c.inner.Result(ctx, id, u)
+}
+
+// Snapshot returns a mutually consistent (pattern, match, sequence)
+// view of one standing query, rebuilt from one wire round trip.
+func (c *Client) Snapshot(ctx context.Context, id PatternID) (*Pattern, *Match, uint64, error) {
+	return c.inner.Snapshot(ctx, id)
+}
+
+// WaitDeltas long-polls the remote hub for deltas with Seq > since (as
+// repeated bounded server polls, so it survives request-duration caps
+// on the path). It blocks until a delta exists, ctx expires, or the
+// query is unregistered.
+func (c *Client) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []HubDelta, resync bool, err error) {
+	return c.inner.WaitDeltas(ctx, id, since)
+}
+
+// Close releases the client's idle connections; the server and its
+// registered patterns are unaffected.
+func (c *Client) Close() error { return c.inner.Close() }
+
+// HandlerOptions parameterises NewHandler.
+type HandlerOptions struct {
+	// PollTimeout caps the delta long-poll wait (0 = 30s).
+	PollTimeout time.Duration
+	// OnSubstrateLoss, when set, is called exactly once the first time
+	// the hub reports ErrSubstrateLost — the hook a server uses to start
+	// draining (gpnm-serve wires it to its graceful-shutdown path).
+	OnSubstrateLoss func(error)
+}
+
+// NewHandler mounts h behind the versioned HTTP/JSON protocol —
+// exactly what gpnm-serve serves and Dial speaks — so any program can
+// embed a hub server in its own mux. See README.md for the /v1
+// endpoint table.
+func NewHandler(h *Hub, opts HandlerOptions) http.Handler {
+	return api.NewServer(h.inner, api.ServerConfig{
+		PollTimeout:     opts.PollTimeout,
+		OnSubstrateLoss: opts.OnSubstrateLoss,
+	}).Routes()
 }
 
 // PatternConfig parameterises random pattern generation.

@@ -1,6 +1,8 @@
 package uagpnm
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -208,18 +210,29 @@ func TestHubPublicAPI(t *testing.T) {
 	te := pTE.AddNode("TE")
 	pTE.AddEdge(se2, te, 1)
 
-	h := NewHub(g, HubOptions{Workers: 2})
-	id1 := h.Register(mk())
-	id2 := h.Register(pTE)
-
-	if got := h.Result(id1, 0); got.Len() != 1 || !got.Contains(alice) {
-		t.Fatalf("hub IQuery pattern 1 = %v", got)
+	ctx := context.Background()
+	h, err := NewHub(g, HubOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := h.Result(id2, 0); got.Len() != 0 {
-		t.Fatalf("hub IQuery pattern 2 = %v, want ∅ (not total)", got)
+	var svc Service = h // the hub IS the in-process Service implementation
+	id1, err := svc.Register(ctx, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := svc.Register(ctx, pTE)
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	deltas, _, err := h.ApplyBatch(HubBatch{D: []Update{InsertEdge(bob, dana)}})
+	if got, err := svc.Result(ctx, id1, 0); err != nil || got.Len() != 1 || !got.Contains(alice) {
+		t.Fatalf("hub IQuery pattern 1 = %v (err %v)", got, err)
+	}
+	if got, err := svc.Result(ctx, id2, 0); err != nil || got.Len() != 0 {
+		t.Fatalf("hub IQuery pattern 2 = %v (err %v), want ∅ (not total)", got, err)
+	}
+
+	deltas, _, err := svc.ApplyBatch(ctx, HubBatch{D: []Update{InsertEdge(bob, dana)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,14 +240,17 @@ func TestHubPublicAPI(t *testing.T) {
 		t.Fatalf("deltas = %v, want one per pattern", deltas)
 	}
 	// Pattern 2 became total: SE1 and TE1 appear.
-	if got := h.Result(id2, 1); got.Len() != 1 || !got.Contains(dana) {
-		t.Fatalf("hub pattern 2 after batch = %v, want {dana}", got)
+	if got, err := svc.Result(ctx, id2, 1); err != nil || got.Len() != 1 || !got.Contains(dana) {
+		t.Fatalf("hub pattern 2 after batch = %v (err %v), want {dana}", got, err)
 	}
 	if h.Seq() != 1 || h.LastBatch().SLenSyncs != 1 {
 		t.Fatalf("seq=%d stats=%+v", h.Seq(), h.LastBatch())
 	}
-	if !h.Unregister(id1) {
-		t.Fatal("unregister failed")
+	if err := svc.Unregister(ctx, id1); err != nil {
+		t.Fatal("unregister failed:", err)
+	}
+	if err := svc.Unregister(ctx, id1); !errors.Is(err, ErrUnknownPattern) {
+		t.Fatalf("second unregister = %v, want ErrUnknownPattern", err)
 	}
 }
 
