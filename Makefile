@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards serve shards smoke shard-smoke
+.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover serve shards smoke shard-smoke failover-smoke
 
 all: ci
 
@@ -55,6 +55,12 @@ bench-hub:
 bench-shards:
 	$(GO) run ./cmd/gpnm-bench -patterns 8 -shards 2 -json BENCH_shards.json
 
+# Record the failover baseline: a 2-worker sharded hub with one worker
+# killed mid-run — recovery latency plus batches/sec before, during and
+# after the kill (results differentially verified).
+bench-failover:
+	$(GO) run ./cmd/gpnm-bench -failover -json BENCH_failover.json
+
 # Standing-query HTTP server on a synthetic demo graph.
 serve:
 	$(GO) run ./cmd/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
@@ -81,6 +87,11 @@ smoke:
 	bash scripts/serve_smoke.sh
 
 # Sharded smoke test: 2 gpnm-shard workers + gpnm-serve -shards,
-# register → apply → delta → graceful shutdown.
+# register → apply → delta → kill -9 one worker → failover-recovered
+# apply → graceful shutdown. The failover stage is part of the script;
+# failover-smoke names the same run for the recovery-focused invocation.
 shard-smoke:
+	bash scripts/shard_smoke.sh
+
+failover-smoke:
 	bash scripts/shard_smoke.sh

@@ -13,6 +13,9 @@
 //	gpnm-bench -patterns 8 -shards 2  # ...with the hub substrate sharded
 //	                                  # across 2 self-spawned HTTP workers
 //	gpnm-bench -patterns 8 -shards host:9101,host:9102   # external workers
+//	gpnm-bench -failover              # 2-worker sharded hub, one worker
+//	                                  # killed mid-run: recovery latency +
+//	                                  # batches/sec before/during/after
 //
 // By default every table (XI–XIV) and every figure (5–9) is printed.
 // Absolute times differ from the paper (Go vs C++, stand-in datasets at
@@ -51,6 +54,7 @@ func main() {
 	patterns := flag.Int("patterns", 0, "run the N-pattern standing-query amortisation scenario (hub vs N sessions) instead of the paper protocol")
 	noVerify := flag.Bool("no-verify", false, "skip the hub-vs-sessions equality check in the -patterns scenario")
 	shards := flag.String("shards", "", "shard the -patterns hub substrate: an integer N spawns N in-process HTTP shard workers, host:port,... connects to running gpnm-shard processes")
+	failover := flag.Bool("failover", false, "run the shard-failover scenario (2 self-spawned workers, one killed mid-run) instead of the paper protocol")
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
@@ -59,6 +63,21 @@ func main() {
 	if *shards != "" && *patterns <= 0 {
 		fmt.Fprintln(os.Stderr, "gpnm-bench: -shards applies to the -patterns scenario (the paper protocol builds many short-lived engines, which one shard fleet cannot serve)")
 		os.Exit(2)
+	}
+
+	if *failover {
+		cfg := bench.FailoverConfig{Workers: *workers, Verify: !*noVerify}
+		if *patterns > 0 {
+			cfg.Patterns = *patterns
+		}
+		if *mini {
+			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Updates = 1200, 4800, 12, 80
+			cfg.BatchesBefore, cfg.BatchesAfter = 2, 2
+		}
+		res := bench.RunFailover(cfg)
+		fmt.Print(res.String())
+		writeJSON(*jsonPath, "shard failover profile", res.JSON)
+		return
 	}
 
 	if *patterns > 0 {

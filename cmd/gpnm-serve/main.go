@@ -16,12 +16,19 @@
 // With -shards host:port,... the hub's partition substrate is served
 // from that many gpnm-shard worker processes (the §V partitions split
 // round-robin, the bridge overlay staying in this process as the
-// coordination layer); the HTTP API is unchanged. The server drains
-// in-flight requests on SIGINT/SIGTERM — and on substrate loss: a dead
-// shard worker poisons the hub, every handler answers with the
-// machine-readable substrate_lost error, parked long-polls are woken,
-// and the process drains gracefully and exits non-zero for its
-// supervisor to restart into a clean build.
+// coordination layer); the HTTP API is unchanged. A worker lost
+// mid-run is handled by failover, not death: the coordinator rebuilds
+// the lost partitions from its own subgraph mirrors on the surviving
+// workers — or on a standby from -spare-shards — replays the in-flight
+// op stream under an epoch fence, and retries the batch; /healthz
+// answers 200 {"recovering":true} while the repair runs and mutating
+// requests get a retryable substrate_recovering. Up to
+// -failover-retries distinct losses are absorbed per batch. Only when
+// nothing survives does the old terminal path fire: the hub poisons
+// itself, every handler answers the machine-readable substrate_lost
+// error, parked long-polls are woken, and the process drains
+// gracefully and exits non-zero for its supervisor to restart into a
+// clean build. SIGINT/SIGTERM drain the same way.
 //
 // Endpoints (see README.md for the table and curl examples):
 //
@@ -58,6 +65,8 @@ func main() {
 	horizon := flag.Int("horizon", 3, "SLen hop cap (0 = exact distances)")
 	workers := flag.Int("workers", 0, "substrate + fan-out worker bound (0 = all cores)")
 	shards := flag.String("shards", "", "comma-separated gpnm-shard worker addresses (host:port,...); empty = in-process substrate")
+	spareShards := flag.String("spare-shards", "", "standby gpnm-shard workers promoted on shard loss (host:port,...)")
+	failoverRetries := flag.Int("failover-retries", 1, "shard losses absorbed per engine operation (batch phase group, register query) via failover before the hub poisons itself (0 = poison on first loss)")
 	history := flag.Int("history", 0, "retained deltas per pattern for long-polling (0 = default)")
 	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "maximum long-poll wait")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown drain window")
@@ -73,16 +82,27 @@ func main() {
 		stats.Nodes, stats.Edges, stats.Labels)
 
 	shardAddrs := shard.ParseAddrs(*shards)
+	spareAddrs := shard.ParseAddrs(*spareShards)
 	if len(shardAddrs) > 0 {
 		fmt.Fprintf(os.Stderr, "gpnm-serve: sharded substrate across %d worker(s): %s\n",
 			len(shardAddrs), strings.Join(shardAddrs, ", "))
+		if len(spareAddrs) > 0 {
+			fmt.Fprintf(os.Stderr, "gpnm-serve: %d spare worker(s) on standby: %s\n",
+				len(spareAddrs), strings.Join(spareAddrs, ", "))
+		}
+	}
+	retries := *failoverRetries
+	if retries <= 0 {
+		retries = -1 // flag 0 = disable failover (the config's 0 means "library default")
 	}
 
 	h, err := uagpnm.NewHub(g, uagpnm.HubOptions{
-		Horizon: *horizon,
-		Workers: *workers,
-		Shards:  shardAddrs,
-		History: *history,
+		Horizon:         *horizon,
+		Workers:         *workers,
+		Shards:          shardAddrs,
+		SpareShards:     spareAddrs,
+		FailoverRetries: retries,
+		History:         *history,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpnm-serve: building hub:", err)

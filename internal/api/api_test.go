@@ -14,6 +14,7 @@ import (
 	"uagpnm/internal/graph"
 	"uagpnm/internal/hub"
 	"uagpnm/internal/pattern"
+	"uagpnm/internal/shard"
 	"uagpnm/internal/updates"
 )
 
@@ -501,5 +502,27 @@ func TestValidationCodes(t *testing.T) {
 		if e.Error == "" {
 			t.Fatalf("%s: empty error message", tc.name)
 		}
+	}
+}
+
+// TestErrorCodeSentinels pins the wire-code → sentinel mapping the
+// client SDK's errors.Is contract depends on.
+func TestErrorCodeSentinels(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{CodeUnknownPattern, hub.ErrUnknownPattern},
+		{CodeSubstrateLost, shard.ErrSubstrateLost},
+		{CodeSubstrateRecovering, ErrSubstrateRecovering},
+	}
+	for _, tc := range cases {
+		err := &Error{Status: 503, Code: tc.code, Message: "x"}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("code %q does not unwrap to its sentinel", tc.code)
+		}
+	}
+	if err := (&Error{Status: 400, Code: CodeBadBatch, Message: "x"}); errors.Is(err, shard.ErrSubstrateLost) {
+		t.Fatal("bad_batch must not unwrap to a substrate sentinel")
 	}
 }

@@ -44,6 +44,8 @@ func (e *Error) Unwrap() error {
 		return hub.ErrUnknownPattern
 	case CodeSubstrateLost:
 		return shard.ErrSubstrateLost
+	case CodeSubstrateRecovering:
+		return ErrSubstrateRecovering
 	}
 	return nil
 }

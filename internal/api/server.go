@@ -53,7 +53,8 @@ func NewServer(h *hub.Hub, cfg ServerConfig) *Server {
 
 // Routes wires the endpoint table:
 //
-//	GET    /v1/healthz                liveness + hub stats (503 once the substrate is lost)
+//	GET    /v1/healthz                liveness + hub stats (200 {"recovering":true} during a
+//	                                  shard failover, 503 once the substrate is terminally lost)
 //	POST   /v1/patterns               register a pattern (DSL or typed graph), returns id + initial result
 //	GET    /v1/patterns/{id}          current (BGS-projected) result of one standing query
 //	GET    /v1/patterns/{id}/snapshot typed pattern + raw simulation images + seq (the client SDK's Snapshot)
@@ -126,12 +127,41 @@ func patternID(r *http.Request) (hub.PatternID, error) {
 	return hub.PatternID(id), nil
 }
 
+// guardRecovering answers mutating requests with 503
+// substrate_recovering while a shard failover is repairing the
+// substrate inside an in-flight batch. Without the guard such requests
+// would just queue on the hub's lock behind the repair; failing fast
+// with Retry-After keeps handler goroutines free and tells clients the
+// process is degraded, not dead. Read endpoints are not guarded — they
+// block briefly and then serve correct post-recovery state.
+func (s *Server) guardRecovering(w http.ResponseWriter) bool {
+	recovering, _ := s.hub.Status()
+	if !recovering {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, CodeSubstrateRecovering,
+		"substrate recovering from a shard loss; retry shortly")
+	return true
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Degraded-not-dead fast path: during a failover the hub's lock is
+	// held by the recovering batch, so the detailed stats below would
+	// block. Answer 200 immediately — a load balancer must keep routing
+	// to a process that is about to finish repairing itself.
+	if recovering, recovered := s.hub.Status(); recovering {
+		srvutil.WriteJSON(w, http.StatusOK, HealthBody{
+			OK: true, Recovering: true, Recovered: recovered,
+		})
+		return
+	}
 	body := HealthBody{
 		OK:       true,
 		Seq:      s.hub.Seq(),
 		Patterns: len(s.hub.Patterns()),
 	}
+	_, body.Recovered = s.hub.Status()
 	st := s.hub.GraphStats() // synchronised: /apply may be mutating the graph
 	body.Nodes, body.Edges, body.Labels = st.Nodes, st.Edges, st.Labels
 	status := http.StatusOK
@@ -146,6 +176,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.guardRecovering(w) {
+		return
+	}
 	var req RegisterRequest
 	if !decode(w, r, &req) {
 		return
@@ -237,6 +270,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if s.guardRecovering(w) {
+		return
+	}
 	id, err := patternID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
@@ -272,6 +308,9 @@ func (s *Server) applyBatch(w http.ResponseWriter, batch hub.Batch) {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.guardRecovering(w) {
+		return
+	}
 	var req ApplyRequest
 	if !decode(w, r, &req) {
 		return
@@ -315,6 +354,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 
 // handleApplyLegacy serves the pre-versioning script-based /apply.
 func (s *Server) handleApplyLegacy(w http.ResponseWriter, r *http.Request) {
+	if s.guardRecovering(w) {
+		return
+	}
 	var req LegacyApplyRequest
 	if !decode(w, r, &req) {
 		return

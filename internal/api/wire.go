@@ -16,6 +16,7 @@
 package api
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -39,9 +40,15 @@ const (
 	// CodeUnknownPattern: the pattern id is not (or no longer) registered.
 	CodeUnknownPattern = "unknown_pattern"
 	// CodeSubstrateLost: the hub lost part of its distance substrate
-	// (a shard worker died); the process is draining and every further
-	// request will fail the same way.
+	// (a shard worker died) beyond repair; the process is draining and
+	// every further request will fail the same way.
 	CodeSubstrateLost = "substrate_lost"
+	// CodeSubstrateRecovering: a shard worker died and the hub is
+	// rebuilding its partitions on surviving or spare workers inside
+	// the in-flight batch. Degraded, not dead: the request was refused
+	// only to avoid queueing behind the repair — retry shortly
+	// (Retry-After is set) and it will be served normally.
+	CodeSubstrateRecovering = "substrate_recovering"
 )
 
 // ErrorBody is the uniform error envelope of every non-2xx response.
@@ -50,15 +57,30 @@ type ErrorBody struct {
 	Code  string `json:"code,omitempty"`
 }
 
+// ErrSubstrateRecovering is the client-side sentinel for
+// CodeSubstrateRecovering: the hub is repairing a lost shard worker
+// inside an in-flight batch and refused a mutating request so it would
+// not queue behind the repair. Transient by construction — retry after
+// a short delay (the response carries Retry-After) and the request
+// will be served normally. Detect with errors.Is; re-exported as
+// uagpnm.ErrSubstrateRecovering.
+var ErrSubstrateRecovering = errors.New("substrate recovering")
+
 // HealthBody answers GET /v1/healthz.
 type HealthBody struct {
-	OK       bool   `json:"ok"`
-	Lost     string `json:"lost,omitempty"` // substrate-loss message when poisoned
-	Seq      uint64 `json:"seq"`
-	Patterns int    `json:"patterns"`
-	Nodes    int    `json:"nodes"`
-	Edges    int    `json:"edges"`
-	Labels   int    `json:"labels"`
+	OK   bool   `json:"ok"`
+	Lost string `json:"lost,omitempty"` // substrate-loss message when poisoned
+	// Recovering marks the degraded-not-dead state: a shard failover is
+	// in flight and the detailed stats below are omitted (they would
+	// block on the batch absorbing the loss). Recovered counts the
+	// shard losses absorbed over the process lifetime.
+	Recovering bool   `json:"recovering,omitempty"`
+	Recovered  uint64 `json:"recovered,omitempty"`
+	Seq        uint64 `json:"seq"`
+	Patterns   int    `json:"patterns"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Labels     int    `json:"labels"`
 }
 
 // RegisterRequest registers a standing pattern: either the textual DSL
@@ -290,6 +312,9 @@ type BatchStatsBody struct {
 	SLenSyncs      int     `json:"slen_syncs"`
 	FanOutMillis   float64 `json:"fan_out_millis"`
 	DurationMillis float64 `json:"duration_millis"`
+	// Recovered counts the shard losses this batch absorbed through
+	// failover (0 on every healthy batch).
+	Recovered int `json:"recovered,omitempty"`
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -304,6 +329,7 @@ func EncodeBatchStats(st hub.BatchStats) BatchStatsBody {
 		SLenSyncs:      st.SLenSyncs,
 		FanOutMillis:   millis(st.FanOut),
 		DurationMillis: millis(st.Duration),
+		Recovered:      st.Recovered,
 	}
 }
 
@@ -317,6 +343,7 @@ func (b BatchStatsBody) Decode() hub.BatchStats {
 		SLenSyncs:   b.SLenSyncs,
 		FanOut:      time.Duration(b.FanOutMillis * float64(time.Millisecond)),
 		Duration:    time.Duration(b.DurationMillis * float64(time.Millisecond)),
+		Recovered:   b.Recovered,
 	}
 }
 

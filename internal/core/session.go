@@ -95,6 +95,17 @@ type Config struct {
 	// fans intra builds, row queries and batch affected-ball phases
 	// across the workers. Ignored by the global-SLen methods.
 	ShardAddrs []string
+	// SpareShardAddrs are standby workers held for failover: when a
+	// serving shard is lost, the next live spare is promoted into its
+	// slot and rebuilt from the coordinator's mirrors before the
+	// in-flight batch retries. Only meaningful with ShardAddrs.
+	SpareShardAddrs []string
+	// FailoverRetries bounds how many distinct shard losses each
+	// failover boundary (one protected engine operation) may absorb
+	// before the engine poisons itself (0 = the engine default of 1;
+	// negative = disable failover, the every-loss-poisons pre-failover
+	// model). See partition.WithFailoverRetries.
+	FailoverRetries int
 }
 
 // QueryStats records the work of the last SQuery.
@@ -143,8 +154,23 @@ func NewSession(g *graph.Graph, p *pattern.Graph, cfg Config) *Session {
 	s := &Session{Method: cfg.Method, G: g, P: p, cfg: cfg}
 	s.Engine = s.newEngine(g)
 	s.Engine.Build()
-	s.Match = simulation.Run(p, g, s.Engine)
+	s.readFailover(func() { s.Match = simulation.Run(p, g, s.Engine) })
 	return s
+}
+
+// readFailover runs a read-only engine fan under the sharded
+// substrate's failover protection (a no-op passthrough for in-process
+// engines): a shard worker lost between batches surfaces on the next
+// read, and this turns it into a rebuild-and-retry instead of a fatal
+// loss. Sessions are single-goroutine, so the exclusive-reader
+// contract of partition.Engine.WithReadFailover holds trivially; every
+// fn passed here overwrites its outputs wholesale.
+func (s *Session) readFailover(fn func()) {
+	if pe, ok := s.Engine.(*partition.Engine); ok {
+		pe.WithReadFailover(fn)
+		return
+	}
+	fn()
 }
 
 // NewSessionWith wraps a pre-built engine (Build()-consistent with g)
@@ -158,7 +184,7 @@ func NewSessionWith(g *graph.Graph, p *pattern.Graph, eng shortest.DistanceEngin
 		eng.EnsureHorizon(cfg.Horizon)
 	}
 	s := &Session{Method: cfg.Method, G: g, P: p, Engine: eng, cfg: cfg}
-	s.Match = simulation.Run(p, g, eng)
+	s.readFailover(func() { s.Match = simulation.Run(p, g, eng) })
 	return s
 }
 
@@ -189,6 +215,16 @@ func NewEngineFor(g *graph.Graph, cfg Config) shortest.DistanceEngine {
 				shs[i] = shard.Dial(addr)
 			}
 			opts = append(opts, partition.WithShards(shs...))
+			if len(cfg.SpareShardAddrs) > 0 {
+				spares := make([]shard.Shard, len(cfg.SpareShardAddrs))
+				for i, addr := range cfg.SpareShardAddrs {
+					spares[i] = shard.Dial(addr)
+				}
+				opts = append(opts, partition.WithSpares(spares...))
+			}
+			if cfg.FailoverRetries != 0 {
+				opts = append(opts, partition.WithFailoverRetries(cfg.FailoverRetries))
+			}
 		}
 		return partition.NewEngine(g, cfg.Horizon, opts...)
 	}

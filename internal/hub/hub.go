@@ -84,6 +84,22 @@ type Config struct {
 	// workers once, and the per-pattern readers of phase 3 query the
 	// frozen post-batch shard state through the coordinator's caches.
 	Shards []string
+	// SpareShards are standby gpnm-shard workers the substrate promotes
+	// when a serving worker is lost: the dead shard's partitions are
+	// rebuilt on the spare from the coordinator's mirrors before the
+	// in-flight batch retries. Without spares, survivors absorb the
+	// lost partitions instead.
+	SpareShards []string
+	// FailoverRetries bounds how many distinct shard losses each
+	// failover boundary may absorb before the hub poisons itself with
+	// shard.ErrSubstrateLost. A boundary is one protected engine
+	// operation — a batch's substrate phases, a detection or amendment
+	// fan, a register's initial query — so one ApplyBatch crosses a few
+	// and can in principle absorb a loss at each (partition engine
+	// semantics; see partition.WithFailoverRetries). 0 = the default of
+	// 1 per boundary; negative = disable failover entirely (every loss
+	// poisons, the pre-failover model).
+	FailoverRetries int
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256 non-empty deltas). Subscribers further behind than
 	// the log reaches receive a resync signal instead of deltas.
@@ -121,6 +137,11 @@ type BatchStats struct {
 	// fan-out (phase 3); Duration the whole ApplyBatch.
 	FanOut   time.Duration
 	Duration time.Duration
+	// Recovered counts the shard losses this batch absorbed through
+	// failover: the dead workers' partitions were rebuilt from the
+	// coordinator's mirrors and the batch completed normally. It is the
+	// only subscriber-visible trace of a recovered loss.
+	Recovered int
 }
 
 // ErrUnknownPattern reports an id that is not (or no longer) registered.
@@ -156,11 +177,14 @@ type Hub struct {
 	seq   uint64
 	last  BatchStats
 
-	// lost poisons the hub after a substrate loss: a batch that died
-	// mid-flight may have advanced the substrate for some patterns and
-	// not others, so no further answer can be trusted. Every method that
-	// touches results returns this error once set; parked long-polls are
-	// woken with it so front ends can drain cleanly.
+	// lost poisons the hub after an unrecoverable substrate loss (the
+	// engine's failover found no surviving or spare worker, or its
+	// budget was spent): a batch that died mid-flight may have advanced
+	// the substrate for some patterns and not others, so no further
+	// answer can be trusted. Every method that touches results returns
+	// this error once set; parked long-polls are woken with it so front
+	// ends can drain cleanly. Recoverable losses never reach this field
+	// — they surface only as BatchStats.Recovered.
 	lost error
 }
 
@@ -178,12 +202,14 @@ func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 	h = &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), next: 1}
 	h.cond = sync.NewCond(&h.mu)
 	h.eng = core.NewEngineFor(g, core.Config{
-		Method:         cfg.Method,
-		Horizon:        cfg.Horizon,
-		DenseThreshold: cfg.DenseThreshold,
-		ELLWidth:       cfg.ELLWidth,
-		Workers:        cfg.Workers,
-		ShardAddrs:     cfg.Shards,
+		Method:          cfg.Method,
+		Horizon:         cfg.Horizon,
+		DenseThreshold:  cfg.DenseThreshold,
+		ELLWidth:        cfg.ELLWidth,
+		Workers:         cfg.Workers,
+		ShardAddrs:      cfg.Shards,
+		SpareShardAddrs: cfg.SpareShards,
+		FailoverRetries: cfg.FailoverRetries,
 	})
 	defer partition.RecoverSubstrateLoss(&err)
 	h.eng.Build()
@@ -275,16 +301,33 @@ func (h *Hub) RegisterFunc(build func(labels *graph.Labels) (*pattern.Graph, err
 	return h.registerLocked(p), nil
 }
 
+// readFailover runs a read-only engine fan under the substrate's
+// failover protection when the substrate supports it: a shard worker
+// lost between batches surfaces on the next read, and this is what
+// turns that into a rebuild-and-retry instead of a poison. Safe here
+// because every caller holds h.mu, so the fan is the engine's only
+// reader (the read-epoch contract), and every fn overwrites its
+// outputs wholesale (idempotent retry).
+func (h *Hub) readFailover(fn func()) {
+	if pe, ok := h.eng.(*partition.Engine); ok {
+		pe.WithReadFailover(fn)
+		return
+	}
+	fn()
+}
+
 func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 	if b := p.MaxFiniteBound(); b > 0 {
 		h.eng.EnsureHorizon(b)
 	}
 	id := h.next
 	h.next++
+	var m *simulation.Match
+	h.readFailover(func() { m = simulation.Run(p, h.g, h.eng) })
 	r := &registration{
 		id:           id,
 		p:            p,
-		match:        simulation.Run(p, h.g, h.eng),
+		match:        m,
 		trimmedBelow: h.seq, // nothing to long-poll before registration
 	}
 	h.regs[id] = r
@@ -294,18 +337,28 @@ func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 
 // Unregister removes a standing query, waking any long-pollers on it
 // (they observe ErrUnknownPattern). It reports whether id was
-// registered. Removal works even on a poisoned hub — there is nothing
-// a loss can corrupt about forgetting a query; UnregisterErr is the
-// Service-facing form that surfaces the loss instead.
+// registered. On a poisoned hub it refuses and reports false, matching
+// UnregisterErr: once the substrate is terminally lost every mutation —
+// even one a loss cannot corrupt, like forgetting a query — surfaces
+// the loss, because the process is draining for a supervisor restart
+// and partial bookkeeping on the way down only confuses the postmortem.
+// (Before the failover work the pair disagreed: Unregister silently
+// worked on a poisoned hub while UnregisterErr refused. Refusing is
+// the intended behaviour; use Err to distinguish "unknown id" from
+// "hub poisoned" when the bool is false.)
 func (h *Hub) Unregister(id PatternID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lost != nil {
+		return false
+	}
 	return h.unregisterLocked(id)
 }
 
 // UnregisterErr is Unregister under the Service error contract:
 // ErrUnknownPattern for an unregistered id, and the sticky substrate
-// loss on a poisoned hub (every Service call must surface it).
+// loss on a poisoned hub (every Service call must surface it; see
+// Unregister for why removal itself also refuses post-loss).
 func (h *Hub) UnregisterErr(id PatternID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -383,6 +436,21 @@ func (h *Hub) Err() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.lost
+}
+
+// Status reports the substrate's failover state without taking the
+// hub's lock: recovering is true while a shard loss is being repaired
+// inside an in-flight batch (degraded, not dead — health endpoints
+// answer 200 from this instead of blocking on the batch), recovered
+// counts the losses absorbed over the hub's lifetime. Both are zero
+// for non-sharded substrates.
+func (h *Hub) Status() (recovering bool, recovered uint64) {
+	// h.eng is assigned once in New and never replaced, so the
+	// lock-free read is safe; the engine's own counters are atomics.
+	if pe, ok := h.eng.(*partition.Engine); ok {
+		return pe.Recovering(), pe.Recovered()
+	}
+	return false, 0
 }
 
 // LastBatch reports the shared work of the most recent ApplyBatch.
@@ -489,11 +557,19 @@ func (h *Hub) PatternStats(id PatternID) (core.QueryStats, bool) {
 // batch references an unknown pattern, puts an update on the wrong
 // side, or carries a node insert with a mispredicted id.
 //
-// Losing a substrate shard mid-batch returns an error wrapping
-// shard.ErrSubstrateLost and poisons the hub: the shared substrate may
-// be half-advanced relative to some patterns' matches, so every further
-// call fails with the same error and parked long-polls are woken with
-// it. Front ends drain and restart into a fresh build.
+// Losing a substrate shard mid-batch is first handled by failover: the
+// substrate quarantines the dead worker, rebuilds its partitions from
+// the coordinator's mirrors on survivors or spares, and retries the
+// in-flight work — invisible here except for BatchStats.Recovered.
+// Parked WaitDeltas long-polls simply stay parked through the recovery
+// window (the batch is still in flight) and wake with the batch's
+// deltas as usual. Only when recovery is exhausted — no surviving
+// capacity, or the failover budget spent — does ApplyBatch return an
+// error wrapping shard.ErrSubstrateLost and poison the hub: the shared
+// substrate may then be half-advanced relative to some patterns'
+// matches, so every further call fails with the same error and parked
+// long-polls are woken with it. Front ends drain and restart into a
+// fresh build.
 func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -503,6 +579,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	defer h.failOnLoss(&err)
 	defer partition.RecoverSubstrateLoss(&err)
 	start := time.Now()
+	_, recovered0 := h.Status()
 
 	// Validate fully before touching anything: the appliers panic on
 	// malformed batches (wrong-side updates, mispredicted node-insert
@@ -573,15 +650,19 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 
 	// Phase 1 — DER-I per pattern against the frozen pre-batch epoch.
 	// Skipped outright for data-only batches (the common case): nil
-	// canInfos entries are what RunUAPass expects then.
+	// canInfos entries are what RunUAPass expects then. The fan runs
+	// under read failover: each worker overwrites canInfos[i] wholesale,
+	// so a repaired retry recomputes cleanly.
 	workers := h.fanWorkers()
 	canInfos := make([][]elim.Info, len(regs))
 	if len(b.P) > 0 {
-		partition.ForEach(workers, len(regs), func(i int) {
-			r := regs[i]
-			if ups := b.P[r.id]; len(ups) > 0 {
-				canInfos[i] = elim.CanSets(ups, r.match, r.p, h.g, h.eng)
-			}
+		h.readFailover(func() {
+			partition.ForEach(workers, len(regs), func(i int) {
+				r := regs[i]
+				if ups := b.P[r.id]; len(ups) > 0 {
+					canInfos[i] = elim.CanSets(ups, r.match, r.p, h.g, h.eng)
+				}
+			})
 		})
 	}
 
@@ -609,45 +690,59 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 
 	// Phase 3 — per-pattern DER-III + EH-Tree + one amendment pass,
 	// fanned across the worker pool; every worker reads the frozen
-	// post-batch epoch and writes only its own registration.
+	// post-batch epoch. Workers write into outs/deltas rather than the
+	// registrations, and the commit happens only after the whole fan
+	// has joined: that makes the fan idempotent, so a shard worker
+	// lost mid-amendment is repaired by read failover and the fan
+	// simply re-runs against the same pre-commit state.
 	fanStart := time.Now()
 	seq := h.seq + 1
 	deltas := make([]Delta, len(regs))
+	type patternPass struct {
+		p     *pattern.Graph
+		match *simulation.Match
+		stats core.QueryStats
+	}
+	outs := make([]patternPass, len(regs))
 	// The Aff infos are batch-constant (ehtree.Build copies what it
 	// keeps), so every pattern's pass shares one slice.
 	affInfos := elim.AffSetsFromApplication(b.D, affSets)
-	partition.ForEach(workers, len(regs), func(i int) {
-		r := regs[i]
-		ups := b.P[r.id]
-		passStart := time.Now()
+	h.readFailover(func() {
+		partition.ForEach(workers, len(regs), func(i int) {
+			r := regs[i]
+			ups := b.P[r.id]
+			passStart := time.Now()
 
-		newP := r.p
-		if len(ups) > 0 {
-			newP = r.p.Clone()
-			updates.ApplyPatternBatch(ups, newP)
-		}
+			newP := r.p
+			if len(ups) > 0 {
+				newP = r.p.Clone()
+				updates.ApplyPatternBatch(ups, newP)
+			}
 
-		oldMatch := r.match
-		pass := core.RunUAPass(oldMatch, newP, h.g, h.eng, affInfos, canInfos[i], changeLog)
+			pass := core.RunUAPass(r.match, newP, h.g, h.eng, affInfos, canInfos[i], changeLog)
 
-		deltas[i] = Delta{Pattern: r.id, Seq: seq, Nodes: simulation.Delta(oldMatch, pass.Match)}
-		r.stats = core.QueryStats{
-			Duration:       time.Since(passStart),
-			Passes:         1,
-			DataUpdates:    len(b.D),
-			PatternUpdates: len(ups),
-			TreeSize:       pass.TreeSize,
-			TreeRoots:      pass.TreeRoots,
-			Eliminated:     pass.Eliminated,
-			SeedNodes:      pass.SeedNodes,
-		}
-		r.p, r.match = newP, pass.Match
+			deltas[i] = Delta{Pattern: r.id, Seq: seq, Nodes: simulation.Delta(r.match, pass.Match)}
+			outs[i] = patternPass{p: newP, match: pass.Match, stats: core.QueryStats{
+				Duration:       time.Since(passStart),
+				Passes:         1,
+				DataUpdates:    len(b.D),
+				PatternUpdates: len(ups),
+				TreeSize:       pass.TreeSize,
+				TreeRoots:      pass.TreeRoots,
+				Eliminated:     pass.Eliminated,
+				SeedNodes:      pass.SeedNodes,
+			}}
+		})
 	})
+	for i, r := range regs {
+		r.p, r.match, r.stats = outs[i].p, outs[i].match, outs[i].stats
+	}
 
 	h.seq = seq
 	for i, r := range regs {
 		r.appendDelta(deltas[i], h.cfg.History)
 	}
+	_, recovered1 := h.Status()
 	h.last = BatchStats{
 		Seq:         seq,
 		DataUpdates: len(b.D),
@@ -656,6 +751,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		SLenSyncs:   len(b.D),
 		FanOut:      time.Since(fanStart),
 		Duration:    time.Since(start),
+		Recovered:   int(recovered1 - recovered0),
 	}
 	h.cond.Broadcast()
 	return deltas, h.last, nil

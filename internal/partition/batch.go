@@ -35,22 +35,32 @@ import (
 // the rows the subsequent amendment pass queries — are pre-warmed
 // across the pool.
 //
-// This is the substrate's error boundary: losing a shard mid-batch
-// (transport death, replica divergence) returns an error wrapping
-// shard.ErrSubstrateLost instead of panicking, with the engine
-// poisoned — the data graph and the intra state may disagree about
-// which prefix of the batch applied, so no further mutation or query
-// is allowed (Err reports the sticky loss). Callers drain and rebuild.
+// This is the substrate's error and failover boundary. Losing a shard
+// mid-batch (transport death, replica divergence) no longer poisons by
+// default: the dead worker is quarantined, its partitions are rebuilt
+// from the coordinator's subgraph mirrors on surviving (or spare)
+// workers, and the faulted phase is retried against the repaired
+// assignment — the op stream is epoch-fenced so a survivor that had
+// already applied the in-flight flush never double-applies, and the
+// lost workers' affected sets are compensated by conservatively
+// dirtying their partitions' bridge anchors before the overlay
+// reconciliation (see recovery.go). Only when no capacity survives or
+// the failover budget (WithFailoverRetries) is spent does the old
+// terminal path fire: an error wrapping shard.ErrSubstrateLost, with
+// the engine poisoned (Err reports the sticky loss) because the data
+// graph and the intra state may then disagree about which prefix of
+// the batch applied. Callers of a poisoned engine drain and rebuild.
 func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set, err error) {
 	if lossErr := e.Err(); lossErr != nil {
 		return nil, nil, lossErr
 	}
 	defer RecoverSubstrateLoss(&err)
+	e.resetFailoverBudget()
 	perUpdate = make([]nodeset.Set, len(ds))
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
 	if e.remote {
-		e.remoteAffected(ds, g, false, nil, perUpdate)
+		e.withFailover(nil, func() { e.remoteAffected(ds, g, false, nil, perUpdate) })
 	} else {
 		parallelFor(e.workers, len(ds), func(i int) {
 			switch u := ds[i]; u.Kind {
@@ -116,13 +126,13 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	// Phase 3: one overlay reconciliation for the whole batch; the
 	// materialised row caches are stale either way.
 	if dirty.Len() > 0 {
-		e.ov.recompute(dirty.Set(), e.workers)
+		e.withFailover(nil, func() { e.ov.recompute(dirty.Set(), e.workers) })
 	}
 	e.invalidate()
 
 	// Phase 4: post-state balls for insertions; assemble the change log.
 	if e.remote {
-		e.remoteAffected(ds, g, true, applied, perUpdate)
+		e.withFailover(nil, func() { e.remoteAffected(ds, g, true, applied, perUpdate) })
 	} else {
 		parallelFor(e.workers, len(ds), func(i int) {
 			if !applied[i] {
@@ -145,6 +155,6 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	changeLog = log.Set()
 
 	// Warm the rows the amendment will query.
-	e.prefetchRows(changeLog)
+	e.withFailover(nil, func() { e.prefetchRows(changeLog) })
 	return perUpdate, changeLog, nil
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
@@ -74,14 +75,37 @@ type Engine struct {
 	nLocal         int  // WithLocalShards count (0 = one)
 
 	// shards host the per-partition intra engines; shardOf maps a
-	// partition index to its owning shard (round-robin for partitions
-	// created after construction). remote is set when the shards are
-	// out-of-process (every op is then also streamed to non-owning
-	// shards for data-graph replica maintenance, and conservative
-	// affected balls are computed shard-side).
-	shards  []shard.Shard
-	shardOf []int32
-	remote  bool
+	// partition index to its owning shard (round-robin over the alive
+	// slots for partitions created after construction). remote is set
+	// when the shards are out-of-process (every op is then also
+	// streamed to non-owning shards for data-graph replica maintenance,
+	// and conservative affected balls are computed shard-side).
+	//
+	// shardAlive quarantines lost slots: a dead slot's partitions are
+	// reassigned by the failover controller (recovery.go) and the slot
+	// either receives a promoted spare (same index, so in-flight ops'
+	// Op.Shard routing stays meaningful) or stays dead. spares are the
+	// standby workers -spare-shards configured, promoted in order.
+	shards     []shard.Shard
+	shardOf    []int32
+	shardAlive []bool
+	spares     []shard.Shard
+	remote     bool
+
+	// Failover state. failoverRetries is the per-mutation recovery
+	// budget (how many distinct losses one batch may absorb before the
+	// terminal poison); recoveryBudget is what remains of it inside the
+	// current mutation boundary. opEpoch fences the op stream: every
+	// remote flush carries a strictly increasing epoch, so a failover
+	// retry of the same flush is idempotent on survivors. recoverable
+	// is set while a failover-protected phase runs — shard faults then
+	// unwind as repairable *shardFault panics instead of poisoning.
+	failoverRetries int
+	recoveryBudget  int
+	opEpoch         uint64
+	recoverable     atomic.Bool
+	recoveringFlag  atomic.Bool
+	recoveredN      atomic.Uint64
 
 	gballPool sync.Pool // *shortest.GraphBall, per-worker adjacency BFS
 	ballPool  sync.Pool // *ballScratch, per-worker stitched-ball state
@@ -104,10 +128,12 @@ type Engine struct {
 	fwdCache map[uint32][]ballEntry
 	revCache map[uint32][]ballEntry
 
-	// lost poisons the engine after the first shard failure: the
-	// substrate may be half-synchronised relative to the data graph, so
-	// every further answer could be silently wrong. Guarded by lostMu
-	// (shard calls happen on pool workers); once set it never clears.
+	// lost poisons the engine after an unrecoverable shard failure —
+	// failover found no surviving or spare worker, or the per-mutation
+	// budget was spent: the substrate may be half-synchronised relative
+	// to the data graph, so every further answer could be silently
+	// wrong. Guarded by lostMu (shard calls happen on pool workers);
+	// once set it never clears.
 	lostMu sync.Mutex
 	lost   error
 }
@@ -122,15 +148,39 @@ func (e *Engine) Err() error {
 	return e.lost
 }
 
-// shardFail records err as the engine's substrate loss (first failure
-// wins) and panics with the sticky error. The panic is how a loss
-// unwinds out of the error-less DistanceEngine query surface — through
-// workpool.ForEach, which re-raises worker panics on the caller — until
+// shardFault is the repairable form of a shard loss: it identifies the
+// failing slot so the failover controller can quarantine it, and wraps
+// the transport error so a terminal poison still surfaces it.
+type shardFault struct {
+	idx int
+	err error
+}
+
+func (f *shardFault) Error() string { return fmt.Sprintf("shard %d: %v", f.idx, f.err) }
+func (f *shardFault) Unwrap() error { return f.err }
+
+// shardFail raises a failure of shard slot idx. Inside a
+// failover-protected phase (withFailover) it panics with a repairable
+// *shardFault — workpool.ForEach re-raises worker panics on the phase's
+// caller, where the failover controller quarantines the slot, rebuilds
+// its partitions from the coordinator's subgraph mirrors on survivors
+// or spares, and retries the phase. Outside such a phase (the
+// error-less DistanceEngine query surface, read between mutations) the
+// old discipline holds: record the sticky loss and panic with it until
 // a boundary method (ApplyDataBatch here, ApplyBatch/Register in
 // internal/hub) converts it back into a return value with
-// RecoverSubstrateLoss. The raw shard error stays wrapped inside, so
-// errors.As still surfaces the *shard.TransportError.
-func (e *Engine) shardFail(err error) {
+// RecoverSubstrateLoss. The raw shard error stays wrapped either way,
+// so errors.As still surfaces the *shard.TransportError.
+func (e *Engine) shardFail(idx int, err error) {
+	if e.recoverable.Load() {
+		panic(&shardFault{idx: idx, err: err})
+	}
+	e.poison(err)
+}
+
+// poison records err as the engine's terminal substrate loss (first
+// failure wins) and panics with the sticky error.
+func (e *Engine) poison(err error) {
 	e.lostMu.Lock()
 	if e.lost == nil {
 		e.lost = fmt.Errorf("partition: %w: %w", shard.ErrSubstrateLost, err)
@@ -216,6 +266,33 @@ func WithShards(shs ...shard.Shard) Option {
 // processes (the differential suite runs it alongside the RPC path).
 func WithLocalShards(n int) Option { return func(e *Engine) { e.nLocal = n } }
 
+// WithSpares holds the given remote shards in standby: when a serving
+// shard is lost, the failover controller promotes the next live spare
+// into the dead slot (full build from the coordinator's mirrors) before
+// falling back to packing the lost partitions onto survivors. Only
+// meaningful with remote shards.
+func WithSpares(shs ...shard.Shard) Option {
+	return func(e *Engine) { e.spares = append(e.spares, shs...) }
+}
+
+// WithFailoverRetries bounds how many distinct shard losses one
+// failover boundary — a data batch's phases, a build, a horizon
+// widening, one WithReadFailover fan — may absorb before the engine
+// gives up and poisons itself with shard.ErrSubstrateLost. The budget
+// re-arms per boundary (a hub batch crosses a few: the detection fans
+// around the batch and the batch itself), so it bounds losses per
+// operation, not per process. The default is 1 — each faulted phase is
+// retried exactly once against the repaired assignment; n ≤ 0 disables
+// failover entirely (every loss poisons, the pre-failover behaviour).
+func WithFailoverRetries(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.failoverRetries = n
+	}
+}
+
 // NewEngine creates a partition-based SLen engine over g with the given
 // hop horizon (0 = exact). Call Build before querying.
 //
@@ -224,7 +301,7 @@ func WithLocalShards(n int) Option { return func(e *Engine) { e.nLocal = n } }
 // intra rows constantly, and hybrid rows cost O(ball) per scan where
 // dense rows cost O(|Pi|).
 func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
-	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8}
+	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8, failoverRetries: 1}
 	for _, o := range opts {
 		o(e)
 	}
@@ -257,6 +334,13 @@ func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
 		// cache-miss rows must assemble through the §V structures.
 		e.stitched = true
 	}
+	if len(e.spares) > 0 && !e.remote {
+		panic("partition: spare shards require a remote shard fleet")
+	}
+	e.shardAlive = make([]bool, len(e.shards))
+	for i := range e.shardAlive {
+		e.shardAlive[i] = true
+	}
 	e.ov = newOverlay(e)
 	return e
 }
@@ -272,29 +356,90 @@ func (e *Engine) subOf(part int) *graph.Graph { return e.part.parts[part].sub }
 // Workers reports the engine's worker pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Shards reports how many shards serve the partitions (1 = in-process).
+// Shards reports how many shard slots serve the partitions
+// (1 = in-process); quarantined slots are included.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// AliveShards reports how many shard slots are currently serving.
+func (e *Engine) AliveShards() int { return len(e.aliveIndices()) }
 
 // Remote reports whether the shards are out-of-process workers.
 func (e *Engine) Remote() bool { return e.remote }
 
-// shardConfig snapshots the parameters every shard builds with.
+// Recovered reports how many shard losses the engine has absorbed
+// through failover over its lifetime. The hub folds the per-batch delta
+// into BatchStats.Recovered.
+func (e *Engine) Recovered() uint64 { return e.recoveredN.Load() }
+
+// Recovering reports whether a failover is in flight right now — the
+// degraded-not-dead state health endpoints surface without blocking on
+// the mutation in progress.
+func (e *Engine) Recovering() bool { return e.recoveringFlag.Load() }
+
+// shardConfig snapshots the parameters every shard builds with,
+// including the current op-stream fence (coordinator staging always
+// precedes the flush, so a snapshot taken now reflects every op of the
+// current epoch).
 func (e *Engine) shardConfig() shard.Config {
 	return shard.Config{
 		Horizon:        e.horizon,
 		DenseThreshold: e.denseThreshold,
 		ELLWidth:       e.ellWidth,
 		Workers:        e.workers,
+		Epoch:          e.opEpoch,
 	}
 }
 
+// aliveIndices lists the shard slots currently serving.
+func (e *Engine) aliveIndices() []int {
+	out := make([]int, 0, len(e.shards))
+	for i, ok := range e.shardAlive {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nextAliveShard picks the alive slot at or round-robin after hint.
+func (e *Engine) nextAliveShard(hint int) int32 {
+	n := len(e.shards)
+	for k := 0; k < n; k++ {
+		if s := (hint + k) % n; e.shardAlive[s] {
+			return int32(s)
+		}
+	}
+	panic("partition: no alive shard to assign") // recovery never leaves zero alive slots behind
+}
+
 // assignShards extends the partition → shard map round-robin over any
-// partitions created since the last call.
+// partitions created since the last call (skipping quarantined slots).
 func (e *Engine) assignShards() {
 	for len(e.shardOf) < len(e.part.parts) {
-		e.shardOf = append(e.shardOf, int32(len(e.shardOf)%len(e.shards)))
+		e.shardOf = append(e.shardOf, e.nextAliveShard(len(e.shardOf)))
 	}
 }
+
+// groupByShard buckets every partition under its owning slot in one
+// pass over shardOf.
+func (e *Engine) groupByShard() [][]int {
+	owned := make([][]int, len(e.shards))
+	for p, s := range e.shardOf {
+		owned[s] = append(owned[s], p)
+	}
+	return owned
+}
+
+// nextOpEpoch issues the fence for one remote op flush (single-writer).
+func (e *Engine) nextOpEpoch() uint64 {
+	e.opEpoch++
+	return e.opEpoch
+}
+
+// resetFailoverBudget re-arms the recovery budget at each mutation
+// boundary: one batch (or build, or widening) may absorb up to
+// failoverRetries distinct shard losses before poisoning.
+func (e *Engine) resetFailoverBudget() { e.recoveryBudget = e.failoverRetries }
 
 // engineSource exposes coordinator state for shard builds (shard.Source).
 // The full-graph snapshot is computed at most once per Build — every
@@ -316,42 +461,51 @@ func (s *engineSource) GraphSnapshot() shard.Snapshot {
 }
 
 // Build computes every partition's intra distances (fanned across the
-// shards, each fanning across its own pool) and the overlay APSP.
+// shards, each fanning across its own pool) and the overlay APSP. A
+// worker lost during a remote build is failed over like any other loss:
+// its partitions move to survivors or spares and the build retries.
 func (e *Engine) Build() {
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	e.assignShards()
-	cfg := e.shardConfig()
-	owned := make([][]int, len(e.shards))
-	for p, s := range e.shardOf {
-		owned[s] = append(owned[s], p)
-	}
-	src := &engineSource{e: e}
-	if e.remote {
-		// Remote builds block on the worker; overlap them.
-		parallelFor(len(e.shards), len(e.shards), func(i int) {
-			if err := e.shards[i].Build(cfg, i, owned[i], src); err != nil {
-				e.shardFail(err)
-			}
-		})
-	} else {
+	e.withFailover(nil, func() {
+		cfg := e.shardConfig()
+		src := &engineSource{e: e}
+		owned := e.groupByShard()
+		if e.remote {
+			alive := e.aliveIndices()
+			// Remote builds block on the worker; overlap them.
+			parallelFor(len(alive), len(alive), func(k int) {
+				i := alive[k]
+				if err := e.shards[i].Build(cfg, i, owned[i], src); err != nil {
+					e.shardFail(i, err)
+				}
+			})
+			return
+		}
 		// In-process shards fan partitions across the full pool
 		// themselves; building them one after another avoids
 		// oversubscribing it.
 		for i, sh := range e.shards {
 			if err := sh.Build(cfg, i, owned[i], src); err != nil {
-				e.shardFail(err)
+				e.shardFail(i, err)
 			}
 		}
-	}
-	e.ov.build(e.workers)
+	})
+	e.withFailover(nil, func() { e.ov.build(e.workers) })
 	e.invalidate()
 }
 
-// Close releases the shards (remote: closes idle connections). The
-// engine is unusable afterwards.
+// Close releases the shards and any unpromoted spares (remote: closes
+// idle connections). The engine is unusable afterwards.
 func (e *Engine) Close() error {
 	var first error
 	for _, sh := range e.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sh := range e.spares {
 		if err := sh.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -386,8 +540,9 @@ func (e *Engine) oracleAlive(id uint32) bool { return e.part.partIndex(id) != no
 // intraBall visits the intra ball of a partition-local node through the
 // owning shard (ascending local-id order).
 func (e *Engine) intraBall(pi int32, local uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) {
-	if err := e.shards[e.shardOf[pi]].Ball(int(pi), local, maxD, reverse, fn); err != nil {
-		e.shardFail(err)
+	idx := int(e.shardOf[pi])
+	if err := e.shards[idx].Ball(int(pi), local, maxD, reverse, fn); err != nil {
+		e.shardFail(idx, err)
 	}
 }
 
@@ -398,9 +553,10 @@ func (e *Engine) intraDist(x, y uint32) shortest.Dist {
 	if pi == none || pi != e.part.partIndex(y) {
 		return shortest.Inf
 	}
-	d, err := e.shards[e.shardOf[pi]].Dist(int(pi), e.part.localOf[x], e.part.localOf[y])
+	idx := int(e.shardOf[pi])
+	d, err := e.shards[idx].Dist(int(pi), e.part.localOf[x], e.part.localOf[y])
 	if err != nil {
-		e.shardFail(err)
+		e.shardFail(idx, err)
 	}
 	return d
 }
@@ -727,10 +883,11 @@ func (e *Engine) PreviewInsertEdge(u, v uint32) nodeset.Set {
 // the graph and returns the affected superset.
 func (e *Engine) InsertEdge(u, v uint32) nodeset.Set {
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageInsertEdge(u, v, &dirty)}, &dirty)
 	if dirty.Len() > 0 {
-		e.ov.recompute(dirty.Set(), e.workers)
+		e.withFailover(nil, func() { e.ov.recompute(dirty.Set(), e.workers) })
 	}
 	e.invalidate()
 	return e.conservativeEdgeAffected(u, v)
@@ -779,7 +936,11 @@ func (e *Engine) settleOp(op shard.Op, aff []uint32, dirty *nodeset.Builder) {
 // applyOps hands staged ops to the shards and settles their affected
 // sets. In-process shards receive only the ops they own, one batch in
 // op order; remote shards each receive the full stream (replica-only
-// ops included) in one RPC, overlapped across shards.
+// ops included) in one epoch-fenced RPC, overlapped across shards. The
+// remote flush is failover-protected: a worker lost mid-flush is
+// quarantined, its partitions rebuilt from the coordinator's mirrors,
+// and the same epoch re-flushed — survivors that already applied it
+// answer their recorded sets, so nothing double-applies.
 func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 	if len(ops) == 0 {
 		return
@@ -795,24 +956,37 @@ func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 				e.settleOp(op, l.ApplyOp(op), dirty)
 				continue
 			}
-			aff, err := e.shards[op.Shard].ApplyOps([]shard.Op{op})
+			aff, err := e.shards[op.Shard].ApplyOps(0, []shard.Op{op})
 			if err != nil {
-				e.shardFail(err)
+				e.shardFail(op.Shard, err)
 			}
 			e.settleOp(op, aff[0], dirty)
 		}
 		return
 	}
+	epoch := e.nextOpEpoch()
+	e.withFailover(dirty, func() { e.flushOps(epoch, ops, dirty) })
+}
+
+// flushOps streams one epoch's ops to every alive remote shard and
+// settles the returned affected sets into dirty. Settling is idempotent
+// (dirty has set semantics), so a failover retry of the same epoch is
+// safe; ops whose owning slot is dead settle nothing — the recovery
+// compensates by dirtying the reassigned partitions' bridge anchors
+// conservatively.
+func (e *Engine) flushOps(epoch uint64, ops []shard.Op, dirty *nodeset.Builder) {
 	affs := make([][][]uint32, len(e.shards))
-	parallelFor(len(e.shards), len(e.shards), func(s int) {
-		aff, err := e.shards[s].ApplyOps(ops)
+	alive := e.aliveIndices()
+	parallelFor(len(alive), len(alive), func(k int) {
+		s := alive[k]
+		aff, err := e.shards[s].ApplyOps(epoch, ops)
 		if err != nil {
-			e.shardFail(err)
+			e.shardFail(s, err)
 		}
 		affs[s] = aff
 	})
 	for i, op := range ops {
-		if op.Shard >= 0 {
+		if op.Shard >= 0 && affs[op.Shard] != nil && affs[op.Shard][i] != nil {
 			e.settleOp(op, affs[op.Shard][i], dirty)
 		}
 	}
@@ -829,10 +1003,11 @@ func (e *Engine) PreviewDeleteEdge(u, v uint32) nodeset.Set {
 // pre-delete state).
 func (e *Engine) DeleteEdge(u, v uint32) nodeset.Set {
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	aff := e.conservativeEdgeAffected(u, v)
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageDeleteEdge(u, v, &dirty)}, &dirty)
-	e.ov.recompute(dirty.Set(), e.workers)
+	e.withFailover(nil, func() { e.ov.recompute(dirty.Set(), e.workers) })
 	e.invalidate()
 	return aff
 }
@@ -861,6 +1036,7 @@ func (e *Engine) stageDeleteEdge(u, v uint32, dirty *nodeset.Builder) shard.Op {
 // InsertNode registers a freshly added (isolated) node.
 func (e *Engine) InsertNode(id uint32) nodeset.Set {
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageInsertNode(id)}, &dirty)
 	e.invalidate()
@@ -898,6 +1074,7 @@ func (e *Engine) nodeAffected(id uint32, outs, ins []uint32) nodeset.Set {
 // edges removed, as returned by graph.RemoveNode) was deleted.
 func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	var outs, ins []uint32
 	for _, ed := range removed {
 		if ed.From == id {
@@ -909,7 +1086,7 @@ func (e *Engine) DeleteNode(id uint32, removed []graph.Edge) nodeset.Set {
 	aff := e.nodeAffected(id, outs, ins)
 	var dirty nodeset.Builder
 	e.applyOps([]shard.Op{e.stageDeleteNode(id, removed, &dirty)}, &dirty)
-	e.ov.recompute(dirty.Set(), e.workers)
+	e.withFailover(nil, func() { e.ov.recompute(dirty.Set(), e.workers) })
 	e.invalidate()
 	return aff
 }
@@ -950,22 +1127,27 @@ func (e *Engine) EnsureHorizon(k int) {
 		return
 	}
 	e.ensureUsable()
+	e.resetFailoverBudget()
 	e.horizon = k
 	e.part.horizon = k
-	if e.remote {
-		parallelFor(len(e.shards), len(e.shards), func(i int) {
-			if err := e.shards[i].EnsureHorizon(k); err != nil {
-				e.shardFail(err)
-			}
-		})
-	} else {
-		for _, sh := range e.shards {
+	e.withFailover(nil, func() {
+		if e.remote {
+			alive := e.aliveIndices()
+			parallelFor(len(alive), len(alive), func(j int) {
+				i := alive[j]
+				if err := e.shards[i].EnsureHorizon(k); err != nil {
+					e.shardFail(i, err)
+				}
+			})
+			return
+		}
+		for i, sh := range e.shards {
 			if err := sh.EnsureHorizon(k); err != nil {
-				e.shardFail(err)
+				e.shardFail(i, err)
 			}
 		}
-	}
-	e.ov.build(e.workers)
+	})
+	e.withFailover(nil, func() { e.ov.build(e.workers) })
 	e.invalidate()
 }
 
@@ -976,11 +1158,12 @@ func (e *Engine) EnsureHorizon(k int) {
 // coordinator's subgraph mirrors — same distances, local serving.
 func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 	c := &Engine{
-		horizon:        e.horizon,
-		denseThreshold: e.denseThreshold,
-		ellWidth:       e.ellWidth,
-		stitched:       e.stitched,
-		workers:        e.workers,
+		horizon:         e.horizon,
+		denseThreshold:  e.denseThreshold,
+		ellWidth:        e.ellWidth,
+		stitched:        e.stitched,
+		workers:         e.workers,
+		failoverRetries: e.failoverRetries,
 	}
 	c.initPools()
 	p := e.part
@@ -1020,6 +1203,10 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 		for _, sh := range e.shards {
 			c.shards = append(c.shards, sh.(*shard.Local).Clone(c.subOf))
 		}
+	}
+	c.shardAlive = make([]bool, len(c.shards))
+	for i := range c.shardAlive {
+		c.shardAlive[i] = true
 	}
 	c.ov = newOverlay(c)
 	c.ov.fwd = e.ov.fwd.Clone()
@@ -1065,7 +1252,10 @@ func (e *Engine) remoteAffected(ds []updates.Update, g *graph.Graph, phase4 bool
 	if len(reqs) == 0 {
 		return
 	}
-	ns := len(e.shards)
+	// Slice round-robin over the alive slots only: after a failover the
+	// retried phase re-slices against the repaired fleet.
+	alive := e.aliveIndices()
+	ns := len(alive)
 	slices := make([][]shard.AffectedReq, ns)
 	sliceIdx := make([][]int, ns)
 	for j := range reqs {
@@ -1077,9 +1267,9 @@ func (e *Engine) remoteAffected(ds []updates.Update, g *graph.Graph, phase4 bool
 		if len(slices[s]) == 0 {
 			return
 		}
-		sets, err := e.shards[s].Affected(slices[s])
+		sets, err := e.shards[alive[s]].Affected(slices[s])
 		if err != nil {
-			e.shardFail(err)
+			e.shardFail(alive[s], err)
 		}
 		for k, set := range sets {
 			perUpdate[sliceIdx[s][k]] = set

@@ -30,6 +30,10 @@ func NewLocal(sub func(part int) *graph.Graph) *Local {
 // touched partition, and affected balls stay on the coordinator.
 func (l *Local) Remote() bool { return false }
 
+// Ping reports nil: an in-process shard lives exactly as long as the
+// coordinator does.
+func (l *Local) Ping() error { return nil }
+
 func (l *Local) growTo(part int) {
 	for len(l.engs) <= part {
 		l.engs = append(l.engs, nil)
@@ -85,6 +89,14 @@ func (l *Local) Build(cfg Config, index int, owned []int, src Source) error {
 		l.engs[p] = e
 	})
 	return nil
+}
+
+// Rebuild builds engines for additional partitions on top of the
+// existing ones. For an in-process shard this is exactly Build over the
+// added set: Build only touches the partitions it is handed, and the
+// "replica" is the coordinator's own graph.
+func (l *Local) Rebuild(cfg Config, index int, added []int, src Source) error {
+	return l.Build(cfg, index, added, src)
 }
 
 // EnsureHorizon widens every owned engine to cover bound k, one
@@ -155,7 +167,10 @@ func (l *Local) ApplyOp(op Op) []uint32 {
 }
 
 // ApplyOps is the batch form of ApplyOp (the Shard interface surface).
-func (l *Local) ApplyOps(ops []Op) ([][]uint32, error) {
+// The epoch fence is meaningless in-process — the coordinator's own
+// structures are the replica, and a Local shard can never half-apply a
+// flush — so it is ignored.
+func (l *Local) ApplyOps(_ uint64, ops []Op) ([][]uint32, error) {
 	aff := make([][]uint32, len(ops))
 	for i, op := range ops {
 		aff[i] = l.ApplyOp(op)

@@ -17,11 +17,12 @@ import (
 )
 
 // TransportError is the error an RPC shard returns when the worker
-// cannot be reached or answers with an error after retries. A session
-// that lost a shard's intra state cannot answer correctly, so the
-// coordinator wraps it in ErrSubstrateLost and poisons the substrate
-// (failover is a ROADMAP item); errors.Is(err, ErrSubstrateLost) and
-// errors.As(err, &te) both work on what callers observe.
+// cannot be reached or answers with an error after retries. The
+// coordinator treats it as a shard loss and runs failover (rebuild the
+// lost partitions on survivors or spares); only when no capacity
+// survives does it poison the substrate with ErrSubstrateLost.
+// errors.Is(err, ErrSubstrateLost) and errors.As(err, &te) both work
+// on what callers observe from a terminal loss.
 type TransportError struct {
 	Addr string
 	Op   string
@@ -114,9 +115,9 @@ func (r *RPC) Remote() bool { return true }
 // post sends one JSON request, retrying transient transport failures,
 // and decodes the response into out. Worker-side errors (non-2xx) are
 // not retried — they signal state divergence, not a flaky network.
-// Retrying a non-idempotent /ops whose response was lost re-applies
-// the batch; the worker's replica then rejects the duplicate mutation
-// and the coordinator fails loudly rather than diverging silently.
+// Retrying an /ops whose response was lost is safe: the stream is
+// epoch-fenced, so a worker that already applied the epoch answers its
+// recorded response instead of re-applying.
 func (r *RPC) post(op, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -167,6 +168,29 @@ func (r *RPC) dropRows() {
 	r.mu.Unlock()
 }
 
+// Ping probes the worker's /healthz with a short bounded GET and no
+// retries — the failover controller calls it to separate dead workers
+// from transient faults, so it must answer fast either way.
+func (r *RPC) Ping() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return &TransportError{Addr: r.base, Op: "ping", Err: err}
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return &TransportError{Addr: r.base, Op: "ping", Err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &TransportError{Addr: r.base, Op: "ping",
+			Err: fmt.Errorf("HTTP %d", resp.StatusCode)}
+	}
+	return nil
+}
+
 // Build ships the coordinator's snapshots — the owned partitions'
 // subgraphs plus the full data-graph adjacency — and blocks until the
 // worker has built its intra engines.
@@ -176,6 +200,22 @@ func (r *RPC) Build(cfg Config, index int, owned []int, src Source) error {
 		req.Parts = append(req.Parts, src.PartSnapshot(p))
 	}
 	if err := r.post("build", "/build", req, nil); err != nil {
+		return err
+	}
+	r.dropRows()
+	return nil
+}
+
+// Rebuild ships additional partitions' snapshots for the worker to
+// build on top of its existing state — the failover path for survivors
+// absorbing a dead shard's partitions. The worker keeps its replica,
+// its other engines and its op-stream fence.
+func (r *RPC) Rebuild(cfg Config, index int, added []int, src Source) error {
+	req := rebuildRequest{Config: cfg, Index: index}
+	for _, p := range added {
+		req.Parts = append(req.Parts, src.PartSnapshot(p))
+	}
+	if err := r.post("rebuild", "/rebuild", req, nil); err != nil {
 		return err
 	}
 	r.dropRows()
@@ -252,11 +292,14 @@ func (r *RPC) Ball(part int, src uint32, maxD int, reverse bool, fn func(local u
 	return nil
 }
 
-// ApplyOps streams one ordered op batch to the worker and returns the
-// per-op affected sets of the partitions this worker owns.
-func (r *RPC) ApplyOps(ops []Op) ([][]uint32, error) {
+// ApplyOps streams one ordered, epoch-fenced op batch to the worker
+// and returns the per-op affected sets of the partitions this worker
+// owns. A worker that already applied this epoch (the response was
+// lost, or a failover retry re-sent the flush) answers its recorded
+// sets instead of re-applying.
+func (r *RPC) ApplyOps(epoch uint64, ops []Op) ([][]uint32, error) {
 	var resp opsResponse
-	err := r.post("ops", "/ops", map[string]interface{}{"ops": ops}, &resp)
+	err := r.post("ops", "/ops", map[string]interface{}{"epoch": epoch, "ops": ops}, &resp)
 	r.dropRows() // the worker may have applied a prefix even on failure
 	if err != nil {
 		return nil, err

@@ -36,6 +36,16 @@ type Server struct {
 	subs    map[int]*graph.Graph // owned partitions' subgraph replicas
 	local   *Local               // the intra engines over subs
 
+	// Op-stream fence: the highest epoch this worker's state reflects,
+	// with the response it answered for it. A /build adopts the
+	// coordinator's fence (the snapshots already contain those ops); a
+	// re-sent /ops at the fenced epoch answers lastResp — or empty sets
+	// when the epoch was absorbed via a fenced build — instead of
+	// re-applying. That idempotence is what makes the coordinator's
+	// failover retry of an in-flight batch safe.
+	lastEpoch uint64
+	lastResp  *opsResponse
+
 	gballPool sync.Pool
 }
 
@@ -52,11 +62,12 @@ func (s *Server) subOf(part int) *graph.Graph { return s.subs[part] }
 
 // Handler returns the worker's endpoint table:
 //
-//	GET  /healthz   liveness + owned-partition count
+//	GET  /healthz   liveness + owned-partition count + op-stream epoch
 //	POST /build     reset + build from coordinator snapshots
+//	POST /rebuild   build additional partitions on top of existing state
 //	POST /horizon   widen every intra engine to a new hop cap
 //	POST /row       one full-horizon intra row (part, src, reverse)
-//	POST /ops       apply one ordered op batch, returns affected sets
+//	POST /ops       apply one ordered, epoch-fenced op batch
 //	POST /affected  conservative balls against the data-graph replica
 //
 // There is no point-distance endpoint: the client answers Dist (and
@@ -66,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /build", s.handleBuild)
+	mux.HandleFunc("POST /rebuild", s.handleRebuild)
 	mux.HandleFunc("POST /horizon", s.handleHorizon)
 	mux.HandleFunc("POST /row", s.handleRow)
 	mux.HandleFunc("POST /ops", s.handleOps)
@@ -78,9 +90,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	built := s.replica != nil
 	parts := len(s.subs)
 	idx := s.index
+	epoch := s.lastEpoch
 	s.mu.RUnlock()
 	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{
-		"ok": true, "built": built, "parts": parts, "index": idx,
+		"ok": true, "built": built, "parts": parts, "index": idx, "epoch": epoch,
 	})
 }
 
@@ -110,6 +123,39 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	s.local = NewLocal(s.subOf)
 	_ = s.local.Build(req.Config, req.Index, owned, nil) // in-process: never errors
+	// The snapshots reflect every flush up to the coordinator's fence:
+	// a replayed /ops at that epoch must answer empty sets, not apply.
+	s.lastEpoch, s.lastResp = req.Config.Epoch, nil
+	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "parts": len(s.subs)})
+}
+
+// rebuildRequest carries additional partitions for a built worker to
+// absorb (the failover path); replica, fence and prior engines survive.
+type rebuildRequest struct {
+	Config Config     `json:"config"`
+	Index  int        `json:"index"`
+	Parts  []Snapshot `json:"parts"`
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	var req rebuildRequest
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replica == nil {
+		srvutil.WriteError(w, http.StatusConflict, "worker not built")
+		return
+	}
+	s.cfg = req.Config
+	s.index = req.Index
+	added := make([]int, 0, len(req.Parts))
+	for _, snap := range req.Parts {
+		s.subs[snap.Part] = snap.Materialise()
+		added = append(added, snap.Part)
+	}
+	_ = s.local.Build(req.Config, req.Index, added, nil) // in-process: never errors
 	srvutil.WriteJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "parts": len(s.subs)})
 }
 
@@ -168,7 +214,8 @@ type opsResponse struct {
 
 func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Ops []Op `json:"ops"`
+		Epoch uint64 `json:"epoch"`
+		Ops   []Op   `json:"ops"`
 	}
 	if !srvutil.Decode(w, r, &req) {
 		return
@@ -179,6 +226,27 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		srvutil.WriteError(w, http.StatusConflict, "worker not built")
 		return
 	}
+	// Epoch fence (0 = unfenced legacy stream). A flush at the fenced
+	// epoch was already absorbed — through an earlier delivery whose
+	// response was lost, or through a fenced build whose snapshots
+	// contained it — so answer what we answered then (empty sets after
+	// a build: the coordinator's failover path compensates by dirtying
+	// every reassigned partition's bridge anchors conservatively).
+	if req.Epoch != 0 {
+		if req.Epoch == s.lastEpoch {
+			if s.lastResp != nil && len(s.lastResp.Aff) == len(req.Ops) {
+				srvutil.WriteJSON(w, http.StatusOK, *s.lastResp)
+				return
+			}
+			srvutil.WriteJSON(w, http.StatusOK, opsResponse{Aff: make([][]uint32, len(req.Ops))})
+			return
+		}
+		if req.Epoch < s.lastEpoch {
+			srvutil.WriteError(w, http.StatusConflict,
+				"stale op epoch %d (worker fence at %d)", req.Epoch, s.lastEpoch)
+			return
+		}
+	}
 	resp := opsResponse{Aff: make([][]uint32, len(req.Ops))}
 	for i, op := range req.Ops {
 		aff, err := s.applyOp(op)
@@ -187,6 +255,9 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Aff[i] = aff
+	}
+	if req.Epoch != 0 {
+		s.lastEpoch, s.lastResp = req.Epoch, &resp
 	}
 	srvutil.WriteJSON(w, http.StatusOK, resp)
 }

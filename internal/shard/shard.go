@@ -36,12 +36,16 @@ import (
 
 // ErrSubstrateLost marks the distance substrate as unrecoverable: a
 // shard holding part of the intra SLen state failed (transport death,
-// state divergence) after retries, so every further answer from the
-// session it served could be silently wrong. The partition engine wraps
-// each shard failure in this sentinel and poisons itself; coordinators
-// (hub, Service front ends) surface it with errors.Is and drain.
-// Failover — rebuilding the lost partitions from the coordinator's
-// subgraph mirrors — is the ROADMAP follow-on this seam exists for.
+// state divergence) and the coordinator could not repair the loss —
+// no surviving or spare worker was left to absorb the dead shard's
+// partitions, or the recovery budget was exhausted. The partition
+// engine wraps the terminal failure in this sentinel and poisons
+// itself; coordinators (hub, Service front ends) surface it with
+// errors.Is and drain. Before that terminal point, losses are handled
+// by failover: the coordinator's subgraph mirrors already hold
+// everything a replacement needs, so lost partitions are rebuilt on
+// survivors (Rebuild) or freshly claimed spares (Build) and the
+// in-flight op stream is replayed under the Config.Epoch fence.
 var ErrSubstrateLost = errors.New("substrate lost")
 
 // Config carries the engine parameters every shard needs to build and
@@ -51,6 +55,14 @@ type Config struct {
 	DenseThreshold int `json:"dense_threshold"`
 	ELLWidth       int `json:"ell_width"`
 	Workers        int `json:"workers"` // per-shard worker pool bound
+
+	// Epoch is the op-stream fence shipped with a (re)build: the state
+	// the coordinator snapshots already reflects every op flush up to
+	// and including this epoch, so a replayed ApplyOps with the same
+	// epoch must return empty affected sets instead of re-applying —
+	// that is how a spare promoted mid-batch, built from post-batch
+	// mirrors, survives the batch's retry without double-application.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Edge is a directed edge in a (local- or global-id) node space.
@@ -164,11 +176,12 @@ type AffectedReq struct {
 // error. A non-nil error means the shard's intra state is no longer
 // trustworthy — the RPC implementation returns a *TransportError after
 // its retries are exhausted — and the coordinator (internal/partition)
-// poisons the whole substrate with ErrSubstrateLost rather than letting
-// a half-synchronised engine keep answering. In-process shards never
-// return errors; their contract violations (unowned partitions, bad
-// ops) remain panics, because they are programming bugs, not
-// operational failures.
+// quarantines the shard and runs failover: its partitions are rebuilt
+// from the coordinator's subgraph mirrors on survivors (Rebuild) or
+// spares (Build), with ErrSubstrateLost the terminal poison only when
+// no capacity survives. In-process shards never return errors; their
+// contract violations (unowned partitions, bad ops) remain panics,
+// because they are programming bugs, not operational failures.
 type Shard interface {
 	// Remote reports whether ops must be streamed to this shard even
 	// when it owns none of the touched partitions (replica
@@ -176,11 +189,26 @@ type Shard interface {
 	// replica. In-process shards return false.
 	Remote() bool
 
+	// Ping is the liveness probe the failover controller uses to tell
+	// a dead worker from a transient fault: it must answer quickly
+	// (bounded, no retries) and return nil only when the shard can
+	// serve. In-process shards always answer nil.
+	Ping() error
+
 	// Build (re)builds the intra engines of the owned partitions from
-	// the coordinator state exposed by src. index is this shard's
+	// the coordinator state exposed by src, discarding all prior state
+	// (a remote worker also resets its data-graph replica and adopts
+	// cfg.Epoch as its op-stream fence). index is this shard's
 	// position in the coordinator's shard table (echoed back in
 	// Op.Shard).
 	Build(cfg Config, index int, owned []int, src Source) error
+
+	// Rebuild builds intra engines for additional partitions —
+	// typically reassigned from a dead shard — on top of the shard's
+	// existing state: replicas, previously owned partitions and the
+	// op-stream fence all survive. The snapshots come from the
+	// coordinator's mirrors at their current state.
+	Rebuild(cfg Config, index int, added []int, src Source) error
 
 	// EnsureHorizon widens every owned intra engine to cover bound k.
 	EnsureHorizon(k int) error
@@ -197,8 +225,13 @@ type Shard interface {
 	// ApplyOps applies one ordered batch of mutations (already applied
 	// to the coordinator's structures) and returns, aligned by index,
 	// the partition-local affected set of every op this shard owns
-	// (nil for replica-only and foreign ops).
-	ApplyOps(ops []Op) ([][]uint32, error)
+	// (nil for replica-only and foreign ops). epoch fences the stream:
+	// the coordinator issues a strictly increasing epoch per flush, and
+	// a shard that already applied it answers its recorded response
+	// (or empty sets, after a fenced build) instead of re-applying —
+	// which is what makes the failover retry of an in-flight batch
+	// safe against survivors that had applied before the loss.
+	ApplyOps(epoch uint64, ops []Op) ([][]uint32, error)
 
 	// Affected computes the conservative affected-ball supersets of
 	// the given updates against the shard's data-graph replica. Only

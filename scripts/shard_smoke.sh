@@ -3,9 +3,13 @@
 # gpnm-shard worker processes plus one gpnm-serve coordinator wired to
 # them (-shards), register a pattern, apply an update batch, and assert
 # the delta comes back over HTTP — i.e. the full §V substrate ran with
-# its intra-partition state split across two worker processes. Needs
-# only curl + grep; CI runs it after the unit suite (`make shard-smoke`
-# locally).
+# its intra-partition state split across two worker processes. Then the
+# failover stage: kill -9 one worker mid-run and assert the coordinator
+# stays healthy, the next batch's results are still correct (the lost
+# partitions were rebuilt on the survivor), /healthz reports the
+# recovery, and shutdown still exits zero. Needs only curl + grep; CI
+# runs it after the unit suite (`make shard-smoke` or the failover
+# stage's alias `make failover-smoke` locally).
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-18090}"
@@ -78,16 +82,40 @@ DELTA=$(curl -sf -X POST "$BASE/apply" -d '{"data":"+e 2 1\n"}')
 echo "apply: $DELTA"
 echo "$DELTA" | grep -q '"added":\[2\]' || { echo "shard-smoke: delta missed the new match" >&2; exit 1; }
 
-# A second batch exercises the shard-side node-delete path end to end:
-# removing the only SE leaves the pattern without a total match, so
-# every PM match is withdrawn.
-DELTA2=$(curl -sf -X POST "$BASE/apply" -d '{"data":"-n 1\n"}')
-echo "apply2: $DELTA2"
-echo "$DELTA2" | grep -q '"removed":\[0,2\]' || { echo "shard-smoke: delta missed the withdrawn matches" >&2; exit 1; }
+# ---- Failover stage: kill one worker mid-run. ---------------------
+# kill -9 worker 2 — no drain, no goodbye, exactly a crashed pod. The
+# coordinator must detect the loss on the next batch, rebuild the dead
+# worker's partitions from its own subgraph mirrors on worker 1, retry
+# the batch, and answer correctly as if nothing happened.
+kill -9 "$SHARD2_PID" 2>/dev/null || true
+wait "$SHARD2_PID" 2>/dev/null || true
+SHARD2_PID=""
+echo "shard-smoke: killed worker 2 (failover stage)"
 
-# Full result is now empty for the PM node.
+# A second batch exercises the shard-side node-delete path end to end —
+# now ACROSS THE KILL: removing the only SE leaves the pattern without
+# a total match, so every PM match is withdrawn. The apply must succeed
+# (failover absorbed the loss) and the delta must be exact.
+DELTA2=$(curl -sf -X POST "$BASE/apply" -d '{"data":"-n 1\n"}')
+echo "apply2 (post-kill): $DELTA2"
+echo "$DELTA2" | grep -q '"removed":\[0,2\]' || { echo "shard-smoke: post-kill delta missed the withdrawn matches" >&2; exit 1; }
+
+# The coordinator is healthy — degraded-not-dead never became dead —
+# and reports the absorbed recovery.
+HEALTH=$(curl -sf "$BASE/v1/healthz") || { echo "shard-smoke: /healthz not 200 after the kill" >&2; exit 1; }
+echo "healthz (post-kill): $HEALTH"
+echo "$HEALTH" | grep -q '"ok":true' || { echo "shard-smoke: healthz not ok after the kill" >&2; exit 1; }
+echo "$HEALTH" | grep -q '"recovered":1' || { echo "shard-smoke: healthz did not report the recovery" >&2; exit 1; }
+
+# Full result is now empty for the PM node (served post-recovery).
 RES=$(curl -sf "$BASE/patterns/$ID")
 echo "$RES" | grep -q '"matches":\[\]' || { echo "shard-smoke: final result wrong: $RES" >&2; exit 1; }
+
+# One more batch end to end on the survivor alone: re-adding an SE in
+# the dead worker's old partition restores both PM matches.
+DELTA3=$(curl -sf -X POST "$BASE/apply" -d '{"data":"+n 3 SE\n+e 0 3\n+e 2 3\n"}')
+echo "apply3 (survivor only): $DELTA3"
+echo "$DELTA3" | grep -q '"added":\[0,2\]' || { echo "shard-smoke: survivor-only batch wrong: $DELTA3" >&2; exit 1; }
 
 # Graceful shutdown: SIGTERM must drain and exit cleanly (0).
 kill -TERM "$SERVER_PID"

@@ -319,11 +319,23 @@ type Service interface {
 }
 
 // ErrSubstrateLost reports that a hub's sharded distance substrate
-// died (a gpnm-shard worker became unreachable or diverged): results
-// can no longer be trusted, every Service call fails with this error,
-// and the serving process should drain and rebuild. Detect it with
-// errors.Is; the causing shard transport error stays wrapped inside.
+// died (a gpnm-shard worker became unreachable or diverged) beyond
+// repair — failover found no surviving or spare worker, or the
+// configured retry budget was spent: results can no longer be trusted,
+// every Service call fails with this error, and the serving process
+// should drain and rebuild. Detect it with errors.Is; the causing
+// shard transport error stays wrapped inside.
 var ErrSubstrateLost = shard.ErrSubstrateLost
+
+// ErrSubstrateRecovering reports the transient sibling of
+// ErrSubstrateLost on the remote client: the server refused a mutating
+// request because it is mid-failover — rebuilding a lost shard
+// worker's partitions inside an in-flight batch — and the request
+// would only have queued behind the repair. Retry after a short delay
+// and it will be served normally. Detect it with errors.Is; the
+// in-process Hub never returns it (its calls just wait out the
+// repair).
+var ErrSubstrateRecovering = api.ErrSubstrateRecovering
 
 // PatternID identifies a pattern registered with a Hub.
 type PatternID = hub.PatternID
@@ -368,6 +380,20 @@ type HubOptions struct {
 	// addresses (see Options.Shards); the hub process remains the
 	// coordinator.
 	Shards []string
+	// SpareShards are standby gpnm-shard workers promoted when a
+	// serving worker is lost: the dead shard's partitions are rebuilt
+	// on the spare from the hub's own mirrors and the in-flight batch
+	// retries, invisibly to registered patterns except for
+	// HubBatchStats.Recovered. Without spares, surviving workers absorb
+	// the lost partitions instead.
+	SpareShards []string
+	// FailoverRetries bounds how many distinct shard losses each
+	// protected engine operation (a batch's substrate phases, a
+	// detection/amendment fan, a register's initial query) may absorb
+	// through failover before the hub gives up and poisons itself with
+	// ErrSubstrateLost (0 = the default of 1 per operation; negative =
+	// disable failover: every loss poisons immediately).
+	FailoverRetries int
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256).
 	History int
@@ -396,11 +422,13 @@ var _ Service = (*Hub)(nil)
 // build never errors.
 func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
 	inner, err := hub.New(g, hub.Config{
-		Method:  opts.Method,
-		Horizon: opts.Horizon,
-		Workers: opts.Workers,
-		Shards:  opts.Shards,
-		History: opts.History,
+		Method:          opts.Method,
+		Horizon:         opts.Horizon,
+		Workers:         opts.Workers,
+		Shards:          opts.Shards,
+		SpareShards:     opts.SpareShards,
+		FailoverRetries: opts.FailoverRetries,
+		History:         opts.History,
 	})
 	if err != nil {
 		return nil, err
@@ -486,6 +514,13 @@ func (h *Hub) Close() error { return h.inner.Close() }
 // what a serving process checks after its drain to decide whether to
 // exit for a supervisor restart.
 func (h *Hub) Err() error { return h.inner.Err() }
+
+// Status reports the sharded substrate's failover state without
+// blocking on in-flight batches: recovering is true while a lost shard
+// worker's partitions are being rebuilt on survivors or spares
+// (degraded, not dead), recovered counts the losses absorbed over the
+// hub's lifetime. Both are zero for in-process substrates.
+func (h *Hub) Status() (recovering bool, recovered uint64) { return h.inner.Status() }
 
 // Stats reports the per-pattern pass statistics of id's last amendment.
 func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.PatternStats(id) }
