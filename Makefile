@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover serve shards smoke shard-smoke failover-smoke
+.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke
 
 all: ci
 
@@ -61,6 +61,12 @@ bench-shards:
 bench-failover:
 	$(GO) run ./cmd/gpnm-bench -failover -json BENCH_failover.json
 
+# Record the pattern-set index headline: 10k low-selectivity standing
+# queries, indexed vs unindexed hub fan-out (results differentially
+# verified inside the scenario).
+bench-index:
+	$(GO) run ./cmd/gpnm-bench -index -patterns 10000 -json BENCH_index.json
+
 # Standing-query HTTP server on a synthetic demo graph.
 serve:
 	$(GO) run ./cmd/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
@@ -95,3 +101,8 @@ shard-smoke:
 
 failover-smoke:
 	bash scripts/shard_smoke.sh
+
+# Index smoke test: the -index scenario at 1k patterns must verify
+# equal results and show a real fan-out reduction.
+index-smoke:
+	bash scripts/index_smoke.sh

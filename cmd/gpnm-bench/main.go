@@ -16,6 +16,10 @@
 //	gpnm-bench -failover              # 2-worker sharded hub, one worker
 //	                                  # killed mid-run: recovery latency +
 //	                                  # batches/sec before/during/after
+//	gpnm-bench -index                 # pattern-set index: indexed vs
+//	                                  # unindexed hub fan-out on a
+//	                                  # low-selectivity clustered workload
+//	gpnm-bench -index -patterns 10000 # ...at the headline scale
 //
 // By default every table (XI–XIV) and every figure (5–9) is printed.
 // Absolute times differ from the paper (Go vs C++, stand-in datasets at
@@ -29,6 +33,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -55,14 +60,34 @@ func main() {
 	noVerify := flag.Bool("no-verify", false, "skip the hub-vs-sessions equality check in the -patterns scenario")
 	shards := flag.String("shards", "", "shard the -patterns hub substrate: an integer N spawns N in-process HTTP shard workers, host:port,... connects to running gpnm-shard processes")
 	failover := flag.Bool("failover", false, "run the shard-failover scenario (2 self-spawned workers, one killed mid-run) instead of the paper protocol")
+	index := flag.Bool("index", false, "run the pattern-set index scenario (indexed vs unindexed hub fan-out; -patterns overrides the standing-query count) instead of the paper protocol")
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
 	flag.Parse()
 
-	if *shards != "" && *patterns <= 0 {
+	if *shards != "" && (*patterns <= 0 || *index) {
 		fmt.Fprintln(os.Stderr, "gpnm-bench: -shards applies to the -patterns scenario (the paper protocol builds many short-lived engines, which one shard fleet cannot serve)")
 		os.Exit(2)
+	}
+
+	if *index {
+		warnDegradedEnv("-index")
+		cfg := bench.IndexConfig{Workers: *workers, Verify: !*noVerify}
+		if *patterns > 0 {
+			cfg.Patterns = *patterns
+		}
+		if *mini {
+			cfg.Clusters, cfg.ClusterNodes, cfg.ClusterEdges = 16, 60, 180
+			cfg.Batches, cfg.Updates = 4, 15
+			if cfg.Patterns == 0 {
+				cfg.Patterns = 1000
+			}
+		}
+		res := bench.RunIndex(cfg)
+		fmt.Print(res.String())
+		writeJSON(*jsonPath, "pattern-set index comparison", res.JSON)
+		return
 	}
 
 	if *failover {
@@ -81,6 +106,7 @@ func main() {
 	}
 
 	if *patterns > 0 {
+		warnDegradedEnv("-patterns")
 		cfg := bench.MultiPatternConfig{Patterns: *patterns, Workers: *workers, Verify: !*noVerify}
 		if *mini {
 			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Batches, cfg.Updates = 1200, 4800, 12, 2, 80
@@ -99,6 +125,7 @@ func main() {
 	}
 
 	if *scaling {
+		warnDegradedEnv("-scaling")
 		cfg := bench.ScalingConfig{}
 		if *mini {
 			cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Batches, cfg.Updates = 1500, 6000, 16, 2, 100
@@ -176,6 +203,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "raw cells written to %s\n", *csvPath)
 	}
 	writeJSON(*jsonPath, "raw cells", res.JSON)
+}
+
+// warnDegradedEnv prints a prominent caveat when a concurrency-
+// sensitive scenario runs on a single-core budget: every worker-count
+// comparison degenerates to parity there, and a recorded BENCH_*.json
+// would read as "no speedup" when it means "no cores". The JSON side
+// of the same caveat is env.degraded_env, stamped by bench.CaptureEnv.
+func warnDegradedEnv(scenario string) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, `gpnm-bench: WARNING: %s is running with GOMAXPROCS=1 (num_cpu=%d).
+gpnm-bench: WARNING: parallel speedups CANNOT manifest on a single core; worker-count
+gpnm-bench: WARNING: comparisons below will show parity regardless of the implementation.
+gpnm-bench: WARNING: the JSON output is stamped "degraded_env": true — do not use it as
+gpnm-bench: WARNING: a scaling baseline.
+`, scenario, runtime.NumCPU())
 }
 
 // resolveShards turns the -shards flag into worker addresses. An

@@ -68,6 +68,7 @@ func main() {
 	spareShards := flag.String("spare-shards", "", "standby gpnm-shard workers promoted on shard loss (host:port,...)")
 	failoverRetries := flag.Int("failover-retries", 1, "shard losses absorbed per engine operation (batch phase group, register query) via failover before the hub poisons itself (0 = poison on first loss)")
 	history := flag.Int("history", 0, "retained deltas per pattern for long-polling (0 = default)")
+	noIndex := flag.Bool("no-index", false, "disable the pattern-set discrimination index (every batch fans over every registration; results are identical, this is an escape hatch and measurement aid)")
 	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "maximum long-poll wait")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown drain window")
 	flag.Parse()
@@ -103,6 +104,7 @@ func main() {
 		SpareShards:     spareAddrs,
 		FailoverRetries: retries,
 		History:         *history,
+		DisableIndex:    *noIndex,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpnm-serve: building hub:", err)

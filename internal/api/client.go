@@ -28,6 +28,11 @@ type Error struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After hint parsed from the
+	// response (0 = retry immediately); negative when the header was
+	// absent. The recovering refusal carries it — the hub is repairing
+	// a lost shard and expects to serve again shortly.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string {
@@ -84,12 +89,52 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 // Addr returns the server's base URL.
 func (c *Client) Addr() string { return c.base }
 
-// do runs one JSON request/response round trip. Non-2xx answers decode
-// into *Error (with the code mapped to sentinels); transport failures
-// return as-is for the caller's retry policy (the Service contract is
-// one attempt per call — subscribers already re-poll, and batch
-// appliers must not blind-retry a non-idempotent apply).
+// maxRecoveringRetries bounds how many substrate_recovering refusals
+// one call waits out before surfacing the error. A shard repair takes
+// about one mirror-replay, so a handful of honored Retry-After waits
+// covers it; a hub still recovering after that is the caller's problem.
+const maxRecoveringRetries = 3
+
+// do runs the JSON round trip, honoring the server's Retry-After on
+// substrate_recovering refusals: the hub refuses those before touching
+// anything (the repair guards the mutation path), so unlike transport
+// errors a recovering 503 is provably side-effect free and safe to
+// retry. Bounded by maxRecoveringRetries; opted out of by a context
+// deadline too close to survive the advertised wait — a caller that
+// wants to fail fast mid-repair sets a deadline, one that wants to
+// ride it out doesn't. All other failures keep the one-attempt
+// contract: non-2xx answers decode into *Error (codes mapped to
+// sentinels) and transport failures return as-is, because an apply
+// whose response was lost may have committed and must not be re-sent.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil || attempt >= maxRecoveringRetries {
+			return err
+		}
+		ae, ok := err.(*Error)
+		if !ok || ae.Code != CodeSubstrateRecovering {
+			return err
+		}
+		wait := ae.RetryAfter
+		if wait < 0 {
+			wait = time.Second // header absent: the repair's typical scale
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+			return err // the deadline opts out: it cannot survive the wait
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		}
+	}
+}
+
+// doOnce is one JSON request/response round trip, no retry policy.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -115,11 +160,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		return fmt.Errorf("api: %s %s: reading response: %w", method, path, err)
 	}
 	if resp.StatusCode/100 != 2 {
+		retryAfter := time.Duration(-1)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var eb ErrorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &Error{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error}
+			return &Error{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error, RetryAfter: retryAfter}
 		}
-		return &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RetryAfter: retryAfter}
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {

@@ -138,4 +138,3 @@ func TestDifferentialRemoteEqualsLocal(t *testing.T) {
 		}
 	}
 }
-

@@ -1,0 +1,111 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uagpnm/internal/hub"
+)
+
+// recoveringStub simulates a hub mid-shard-repair: /v1/apply answers
+// the recovering refusal (503 + Retry-After, refused before any
+// mutation — exactly what internal/api.Server emits while
+// hub.Status() reports recovering) for the first `refusals` calls,
+// then succeeds. The real recovery window is exercised end to end by
+// the failover suites; this stub pins the client's side of the
+// contract deterministically.
+func recoveringStub(t *testing.T, refusals int32, retryAfter string) (*httptest.Server, *int32) {
+	t.Helper()
+	var applies int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(HealthBody{OK: true})
+	})
+	mux.HandleFunc("/v1/apply", func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&applies, 1) <= refusals {
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorBody{
+				Error: "substrate recovering: shard repair in flight",
+				Code:  CodeSubstrateRecovering,
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(ApplyResponse{Seq: 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &applies
+}
+
+// TestClientRetriesWhileRecovering: a batch applied against a
+// recovering hub must wait out the server's Retry-After and succeed
+// once the repair lands, instead of surfacing ErrSubstrateRecovering
+// on the first refusal (the pre-fix behaviour dropped the header on
+// the floor).
+func TestClientRetriesWhileRecovering(t *testing.T) {
+	ts, applies := recoveringStub(t, 2, "0")
+	c, err := Dial(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ApplyBatch(context.Background(), hub.Batch{}); err != nil {
+		t.Fatalf("apply against a recovering hub: %v, want success after retries", err)
+	}
+	if got := atomic.LoadInt32(applies); got != 3 {
+		t.Fatalf("server saw %d applies, want 3 (2 refusals + 1 success)", got)
+	}
+}
+
+// TestClientRetryBounded: a hub that never finishes recovering must
+// not be retried forever — after maxRecoveringRetries honored waits
+// the refusal surfaces, still mapped to the sentinel.
+func TestClientRetryBounded(t *testing.T) {
+	ts, applies := recoveringStub(t, 1<<30, "0")
+	c, err := Dial(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.ApplyBatch(context.Background(), hub.Batch{})
+	if !errors.Is(err, ErrSubstrateRecovering) {
+		t.Fatalf("err = %v, want ErrSubstrateRecovering", err)
+	}
+	var ae *Error
+	if !errors.As(err, &ae) || ae.RetryAfter != 0 {
+		t.Fatalf("err = %#v, want *Error carrying RetryAfter=0s", err)
+	}
+	if got := atomic.LoadInt32(applies); got != maxRecoveringRetries+1 {
+		t.Fatalf("server saw %d applies, want %d", got, maxRecoveringRetries+1)
+	}
+}
+
+// TestClientRetryDeadlineOptOut: a context deadline shorter than the
+// advertised Retry-After opts out of waiting — the refusal surfaces
+// immediately, without burning the deadline sleeping on a wait it
+// cannot survive.
+func TestClientRetryDeadlineOptOut(t *testing.T) {
+	ts, applies := recoveringStub(t, 1<<30, "5")
+	c, err := Dial(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = c.ApplyBatch(ctx, hub.Batch{})
+	if !errors.Is(err, ErrSubstrateRecovering) {
+		t.Fatalf("err = %v, want ErrSubstrateRecovering", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("opt-out took %v, want immediate surface (no 5s sleep)", elapsed)
+	}
+	if got := atomic.LoadInt32(applies); got != 1 {
+		t.Fatalf("server saw %d applies, want exactly 1 (no retry under a tight deadline)", got)
+	}
+}

@@ -315,6 +315,13 @@ type BatchStatsBody struct {
 	// Recovered counts the shard losses this batch absorbed through
 	// failover (0 on every healthy batch).
 	Recovered int `json:"recovered,omitempty"`
+	// Woken/Skipped partition the registrations by the pattern-set
+	// index's wake decision (Woken + Skipped == Patterns);
+	// IndexBypassed flags batches whose decision did not come from the
+	// index (disabled, or touch-region cap overflow).
+	Woken         int  `json:"woken"`
+	Skipped       int  `json:"skipped"`
+	IndexBypassed bool `json:"index_bypassed,omitempty"`
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -330,20 +337,26 @@ func EncodeBatchStats(st hub.BatchStats) BatchStatsBody {
 		FanOutMillis:   millis(st.FanOut),
 		DurationMillis: millis(st.Duration),
 		Recovered:      st.Recovered,
+		Woken:          st.Woken,
+		Skipped:        st.Skipped,
+		IndexBypassed:  st.IndexBypassed,
 	}
 }
 
 // Decode converts the wire stats back to hub.BatchStats.
 func (b BatchStatsBody) Decode() hub.BatchStats {
 	return hub.BatchStats{
-		Seq:         b.Seq,
-		DataUpdates: b.DataUpdates,
-		Patterns:    b.Patterns,
-		SLenSync:    time.Duration(b.SLenSyncMillis * float64(time.Millisecond)),
-		SLenSyncs:   b.SLenSyncs,
-		FanOut:      time.Duration(b.FanOutMillis * float64(time.Millisecond)),
-		Duration:    time.Duration(b.DurationMillis * float64(time.Millisecond)),
-		Recovered:   b.Recovered,
+		Seq:           b.Seq,
+		DataUpdates:   b.DataUpdates,
+		Patterns:      b.Patterns,
+		SLenSync:      time.Duration(b.SLenSyncMillis * float64(time.Millisecond)),
+		SLenSyncs:     b.SLenSyncs,
+		FanOut:        time.Duration(b.FanOutMillis * float64(time.Millisecond)),
+		Duration:      time.Duration(b.DurationMillis * float64(time.Millisecond)),
+		Recovered:     b.Recovered,
+		Woken:         b.Woken,
+		Skipped:       b.Skipped,
+		IndexBypassed: b.IndexBypassed,
 	}
 }
 

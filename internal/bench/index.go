@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/hub"
+	"uagpnm/internal/patgen"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/updates"
+)
+
+// IndexConfig parameterises the pattern-set index measurement: the
+// low-selectivity standing-query regime the discrimination index
+// exists for. The data graph is Clusters label-disjoint communities
+// (no cross-cluster edges, per-cluster label namespaces); each of the
+// Patterns standing queries is drawn over one cluster's labels; each
+// batch's updates are confined to a single round-robin cluster. A
+// batch can therefore only affect ~Patterns/Clusters registrations —
+// the indexed hub should wake about that many while the unindexed hub
+// fans over all of them.
+type IndexConfig struct {
+	Clusters     int // label-disjoint communities (default 32)
+	ClusterNodes int // nodes per cluster (default 100)
+	ClusterEdges int // intra-cluster edges (default 300)
+	Roles        int // distinct labels per cluster (default 6)
+
+	Patterns     int // standing queries (default 10000)
+	PatternNodes int // nodes per pattern (default 5)
+	PatternEdges int // edges per pattern (default 5)
+
+	Batches int // update batches (default 6)
+	Updates int // edge updates per batch, one cluster each (default 30)
+	Horizon int // SLen hop cap (default 3)
+	Workers int // worker bound for hub fan-out and engines (0 = all cores)
+	Seed    int64
+
+	// Verify compares every pattern's final match on the indexed hub
+	// against the unindexed hub after the replay (the per-batch
+	// equivalence is the hub differential suite's job; this guards the
+	// measurement itself).
+	Verify bool
+}
+
+// IndexSide aggregates one hub's cost over the run.
+type IndexSide struct {
+	RegisterSeconds float64 `json:"register_seconds"` // build + N× Register (IQuery)
+	FanOutSeconds   float64 `json:"fan_out_seconds"`  // phase-3 fan wall time
+	TotalSeconds    float64 `json:"total_seconds"`    // whole ApplyBatch wall time
+	// Woken/Skipped are summed over batches: Woken counts per-pattern
+	// passes actually run, Skipped the passes the index proved
+	// unnecessary. The unindexed side wakes everything by definition.
+	Woken   int `json:"woken"`
+	Skipped int `json:"skipped"`
+}
+
+// IndexResult is the measured comparison — BENCH_index.json.
+type IndexResult struct {
+	Config    IndexConfig `json:"config"`
+	Env       RunEnv      `json:"env"`
+	Indexed   IndexSide   `json:"indexed"`
+	Unindexed IndexSide   `json:"unindexed"`
+	// FanReduction = unindexed woken / indexed woken — the headline:
+	// how many per-pattern passes the index pruned away. With C
+	// clusters and round-robin batches the ideal value is ≈ C.
+	FanReduction float64 `json:"fan_reduction"`
+	// FanTimeRatio = indexed fan-out seconds / unindexed fan-out
+	// seconds (smaller is better).
+	FanTimeRatio float64 `json:"fan_time_ratio"`
+	Verified     bool    `json:"verified"`
+}
+
+// clusteredGraph builds the label-disjoint community graph.
+func clusteredGraph(cfg IndexConfig, rng *rand.Rand) *graph.Graph {
+	g := graph.New(nil)
+	for c := 0; c < cfg.Clusters; c++ {
+		for i := 0; i < cfg.ClusterNodes; i++ {
+			g.AddNode(fmt.Sprintf("c%d_r%d", c, rng.Intn(cfg.Roles)))
+		}
+		lo := uint32(c * cfg.ClusterNodes)
+		for i := 0; i < cfg.ClusterEdges; i++ {
+			g.AddEdge(lo+uint32(rng.Intn(cfg.ClusterNodes)), lo+uint32(rng.Intn(cfg.ClusterNodes)))
+		}
+	}
+	return g
+}
+
+// RunIndex executes the comparison: an indexed hub and an unindexed
+// (DisableIndex) hub replay identical batches from identical state.
+func RunIndex(cfg IndexConfig) IndexResult {
+	if cfg.Clusters == 0 {
+		cfg.Clusters = 32
+	}
+	if cfg.ClusterNodes == 0 {
+		cfg.ClusterNodes = 100
+	}
+	if cfg.ClusterEdges == 0 {
+		cfg.ClusterEdges = 300
+	}
+	if cfg.Roles == 0 {
+		cfg.Roles = 6
+	}
+	if cfg.Patterns == 0 {
+		cfg.Patterns = 10000
+	}
+	if cfg.PatternNodes == 0 {
+		cfg.PatternNodes = 5
+	}
+	if cfg.PatternEdges == 0 {
+		cfg.PatternEdges = 5
+	}
+	if cfg.Batches == 0 {
+		cfg.Batches = 6
+	}
+	if cfg.Updates == 0 {
+		cfg.Updates = 30
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := clusteredGraph(cfg, rng)
+
+	// Pattern i draws from cluster i%Clusters's label namespace.
+	patterns := make([]*pattern.Graph, cfg.Patterns)
+	for i := range patterns {
+		c := i % cfg.Clusters
+		labels := make([]string, cfg.Roles)
+		for r := range labels {
+			labels[r] = fmt.Sprintf("c%d_r%d", c, r)
+		}
+		patterns[i] = patgen.Generate(patgen.Config{
+			Nodes: cfg.PatternNodes, Edges: cfg.PatternEdges,
+			BoundMin: 1, BoundMax: cfg.Horizon,
+			Seed:   cfg.Seed + int64(100+i),
+			Labels: labels,
+		}, g.Labels())
+	}
+
+	// Pre-generate the batches against an evolving clone so both sides
+	// replay identical updates: batch b flips Updates random edges
+	// inside cluster b%Clusters (delete present, insert absent).
+	batches := make([][]updates.Update, cfg.Batches)
+	{
+		gw := g.Clone()
+		for b := range batches {
+			lo := uint32((b % cfg.Clusters) * cfg.ClusterNodes)
+			ups := make([]updates.Update, 0, cfg.Updates)
+			for i := 0; i < cfg.Updates; i++ {
+				u := lo + uint32(rng.Intn(cfg.ClusterNodes))
+				v := lo + uint32(rng.Intn(cfg.ClusterNodes))
+				kind := updates.DataEdgeInsert
+				if gw.HasEdge(u, v) {
+					kind = updates.DataEdgeDelete
+				}
+				ups = append(ups, updates.Update{Kind: kind, From: u, To: v})
+			}
+			updates.ApplyDataStructural(ups, gw)
+			batches[b] = ups
+		}
+	}
+
+	res := IndexResult{Config: cfg, Env: CaptureEnv(cfg.Workers, 0), Verified: cfg.Verify}
+
+	side := func(disable bool, out *IndexSide) (*hub.Hub, []hub.PatternID) {
+		start := time.Now()
+		h, err := hub.New(g.Clone(), hub.Config{
+			Horizon: cfg.Horizon, Workers: cfg.Workers, DisableIndex: disable,
+		})
+		if err != nil {
+			panic("bench: hub build failed: " + err.Error())
+		}
+		ids := make([]hub.PatternID, len(patterns))
+		for i, p := range patterns {
+			id, err := h.Register(p.Clone())
+			if err != nil {
+				panic("bench: hub register failed: " + err.Error())
+			}
+			ids[i] = id
+		}
+		out.RegisterSeconds = time.Since(start).Seconds()
+		for _, ups := range batches {
+			_, st, err := h.ApplyBatch(hub.Batch{D: ups})
+			if err != nil {
+				panic("bench: hub batch rejected: " + err.Error())
+			}
+			out.FanOutSeconds += st.FanOut.Seconds()
+			out.TotalSeconds += st.Duration.Seconds()
+			out.Woken += st.Woken
+			out.Skipped += st.Skipped
+		}
+		return h, ids
+	}
+
+	indexed, idsI := side(false, &res.Indexed)
+	defer indexed.Close()
+	unindexed, idsU := side(true, &res.Unindexed)
+	defer unindexed.Close()
+
+	if cfg.Verify {
+		for i := range patterns {
+			mi, okI := indexed.Match(idsI[i])
+			mu, okU := unindexed.Match(idsU[i])
+			if !okI || !okU || !mi.Equal(mu) {
+				panic(fmt.Sprintf("bench: pattern %d diverged between indexed and unindexed hub", i))
+			}
+		}
+	}
+
+	res.FanReduction = ratio(float64(res.Unindexed.Woken), float64(res.Indexed.Woken))
+	res.FanTimeRatio = ratio(res.Indexed.FanOutSeconds, res.Unindexed.FanOutSeconds)
+	return res
+}
+
+// String renders the comparison as a table.
+func (r IndexResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pattern-set index — %d patterns over %d label-disjoint clusters, %d batches × %d single-cluster updates (workers=%d)\n",
+		r.Config.Patterns, r.Config.Clusters, r.Config.Batches, r.Config.Updates, r.Config.Workers)
+	fmt.Fprintf(&sb, "%-16s  %12s  %12s  %12s  %10s  %10s\n",
+		"", "register (s)", "fan-out (s)", "total (s)", "woken", "skipped")
+	row := func(name string, s IndexSide) {
+		fmt.Fprintf(&sb, "%-16s  %12.4f  %12.4f  %12.4f  %10d  %10d\n",
+			name, s.RegisterSeconds, s.FanOutSeconds, s.TotalSeconds, s.Woken, s.Skipped)
+	}
+	row("indexed hub", r.Indexed)
+	row("unindexed hub", r.Unindexed)
+	fmt.Fprintf(&sb, "fan-out reduction: %.1fx fewer per-pattern passes (%d vs %d), fan time ratio %.3f",
+		r.FanReduction, r.Indexed.Woken, r.Unindexed.Woken, r.FanTimeRatio)
+	if r.Verified {
+		sb.WriteString("  [results verified equal]")
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// JSON renders the comparison for machine consumption (BENCH files).
+func (r IndexResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -25,15 +25,21 @@ type RunEnv struct {
 	// Shards counts the remote gpnm-shard workers serving the
 	// partition substrate (0 = fully in-process).
 	Shards int `json:"shards"`
+	// DegradedEnv flags a recording made under GOMAXPROCS == 1: no
+	// parallel speedup can manifest there, so scaling parity in such a
+	// file reads as "no speedup" when it is actually "no cores". Any
+	// consumer comparing worker counts must discard degraded files.
+	DegradedEnv bool `json:"degraded_env,omitempty"`
 }
 
 // CaptureEnv snapshots the current process environment.
 func CaptureEnv(workers, shards int) RunEnv {
 	return RunEnv{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
-		Shards:     shards,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Shards:      shards,
+		DegradedEnv: runtime.GOMAXPROCS(0) == 1,
 	}
 }
 

@@ -104,6 +104,18 @@ type Config struct {
 	// (default 256 non-empty deltas). Subscribers further behind than
 	// the log reaches receive a resync signal instead of deltas.
 	History int
+	// DisableIndex turns the pattern-set discrimination index off:
+	// every batch fans detection + amendment over every registration
+	// (the pre-index behaviour). The differential suites and the
+	// -index benchmark use it as the reference side; production hubs
+	// keep the index on.
+	DisableIndex bool
+	// IndexRegionCap bounds the per-batch touch-region BFS (nodes
+	// visited). A change log whose reverse ball engulfs the graph makes
+	// discrimination pointless — past the cap the index is bypassed for
+	// that batch (every pattern woken, BatchStats.IndexBypassed set).
+	// 0 = no cap.
+	IndexRegionCap int
 }
 
 // Batch is one epoch's worth of updates for the whole hub: a shared
@@ -142,6 +154,19 @@ type BatchStats struct {
 	// coordinator's mirrors and the batch completed normally. It is the
 	// only subscriber-visible trace of a recovered loss.
 	Recovered int
+	// Woken counts the registrations phase 3 actually fanned over;
+	// Skipped those the pattern-set index proved untouchable by this
+	// batch (their matches are unchanged by construction, so they got
+	// an empty delta without entering the fan). Woken + Skipped ==
+	// Patterns.
+	Woken   int
+	Skipped int
+	// IndexBypassed records that this batch's wake decision did not
+	// come from the discrimination index — it was disabled, or the
+	// touch region overflowed Config.IndexRegionCap — so Woken ==
+	// Patterns says nothing about selectivity. Logged per batch so an
+	// adaptive policy can learn when discrimination stops paying.
+	IndexBypassed bool
 }
 
 // ErrUnknownPattern reports an id that is not (or no longer) registered.
@@ -154,6 +179,13 @@ type registration struct {
 	p     *pattern.Graph
 	match *simulation.Match
 	stats core.QueryStats
+	// sig is the pattern's discrimination signature, kept in lockstep
+	// with p (re-extracted whenever ΔGP mutates the pattern).
+	sig pattern.Signature
+	// wokenSeq is the last batch sequence whose phase-3 fan included
+	// this registration — the observable trace of the index's wake
+	// decision, which the fuzz oracle checks against actual deltas.
+	wokenSeq uint64
 
 	deltas       []Delta // most recent non-empty deltas, ascending Seq
 	trimmedBelow uint64  // deltas with Seq ≤ this were dropped from the log
@@ -173,6 +205,7 @@ type Hub struct {
 	cfg   Config
 	regs  map[PatternID]*registration
 	order []PatternID // registration order, for deterministic iteration
+	idx   *patternIndex
 	next  PatternID
 	seq   uint64
 	last  BatchStats
@@ -199,7 +232,7 @@ func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 	if cfg.History <= 0 {
 		cfg.History = 256
 	}
-	h = &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), next: 1}
+	h = &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), idx: newPatternIndex(), next: 1}
 	h.cond = sync.NewCond(&h.mu)
 	h.eng = core.NewEngineFor(g, core.Config{
 		Method:          cfg.Method,
@@ -328,10 +361,12 @@ func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 		id:           id,
 		p:            p,
 		match:        m,
+		sig:          pattern.SignatureOf(p),
 		trimmedBelow: h.seq, // nothing to long-poll before registration
 	}
 	h.regs[id] = r
 	h.order = append(h.order, id)
+	h.idx.add(id, r.sig)
 	return id
 }
 
@@ -372,16 +407,27 @@ func (h *Hub) UnregisterErr(id PatternID) error {
 }
 
 func (h *Hub) unregisterLocked(id PatternID) bool {
-	if _, ok := h.regs[id]; !ok {
+	r, ok := h.regs[id]
+	if !ok {
 		return false
 	}
 	delete(h.regs, id)
+	h.idx.remove(id, r.sig)
 	for i, o := range h.order {
 		if o == id {
 			h.order = append(h.order[:i], h.order[i+1:]...)
 			break
 		}
 	}
+	// Drop the registration's bulky state eagerly. The *registration
+	// can outlive removal — an ApplyBatch return value, a driver-held
+	// handle, a parked long-poll mid-wake all still reference it — and
+	// with a large History the delta log alone pins History × |delta|
+	// node sets until the last reference dies. Post-removal readers
+	// re-lookup h.regs and observe ErrUnknownPattern, never these
+	// fields.
+	r.deltas = nil
+	r.match = nil
 	h.cond.Broadcast()
 	return true
 }
@@ -642,6 +688,38 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		regs[i] = h.regs[id]
 	}
 
+	// Labels the batch's node churn touches, collected while the graph
+	// is still pre-batch: a deleted node's labels are unreadable after
+	// phase 2, yet its disappearance can shrink a match (the amendment
+	// drops dead nodes from old sets without any worklist traffic). The
+	// discrimination index treats them as touched at distance zero.
+	// Insert labels ride along for the insert-then-delete-in-one-batch
+	// case, where the node never exists outside the batch.
+	var churnLabels []graph.LabelID
+	if len(b.D) > 0 {
+		seen := make(map[graph.LabelID]bool)
+		addLabel := func(l graph.LabelID) {
+			if !seen[l] {
+				seen[l] = true
+				churnLabels = append(churnLabels, l)
+			}
+		}
+		for _, u := range b.D {
+			switch u.Kind {
+			case updates.DataNodeInsert:
+				for _, name := range u.Labels {
+					addLabel(h.g.Labels().Intern(name))
+				}
+			case updates.DataNodeDelete:
+				if h.g.Alive(u.Node) {
+					for _, l := range h.g.NodeLabels(u.Node) {
+						addLabel(l)
+					}
+				}
+			}
+		}
+	}
+
 	// Single writer: widen the horizon before any concurrent phase asks
 	// about incoming bounds (EnsureHorizon rebuilds substrate state).
 	if maxBound > 0 {
@@ -650,18 +728,24 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 
 	// Phase 1 — DER-I per pattern against the frozen pre-batch epoch.
 	// Skipped outright for data-only batches (the common case): nil
-	// canInfos entries are what RunUAPass expects then. The fan runs
-	// under read failover: each worker overwrites canInfos[i] wholesale,
-	// so a repaired retry recomputes cleanly.
+	// canInfos entries are what RunUAPass expects then. The fan covers
+	// only the patterns with ΔGP updates and runs under read failover:
+	// each worker overwrites canInfos[i] wholesale, so a repaired retry
+	// recomputes cleanly.
 	workers := h.fanWorkers()
 	canInfos := make([][]elim.Info, len(regs))
 	if len(b.P) > 0 {
+		var withUps []int
+		for i, r := range regs {
+			if len(b.P[r.id]) > 0 {
+				withUps = append(withUps, i)
+			}
+		}
 		h.readFailover(func() {
-			partition.ForEach(workers, len(regs), func(i int) {
+			partition.ForEach(workers, len(withUps), func(k int) {
+				i := withUps[k]
 				r := regs[i]
-				if ups := b.P[r.id]; len(ups) > 0 {
-					canInfos[i] = elim.CanSets(ups, r.match, r.p, h.g, h.eng)
-				}
+				canInfos[i] = elim.CanSets(b.P[r.id], r.match, r.p, h.g, h.eng)
 			})
 		})
 	}
@@ -688,16 +772,33 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	}
 	slen := time.Since(slenStart)
 
-	// Phase 3 — per-pattern DER-III + EH-Tree + one amendment pass,
-	// fanned across the worker pool; every worker reads the frozen
-	// post-batch epoch. Workers write into outs/deltas rather than the
-	// registrations, and the commit happens only after the whole fan
-	// has joined: that makes the fan idempotent, so a shard worker
-	// lost mid-amendment is repaired by read failover and the fan
-	// simply re-runs against the same pre-commit state.
-	fanStart := time.Now()
+	// Wake planning — the discrimination index routes the batch's touch
+	// set (change log + churn labels) through the label × radius
+	// envelopes and prunes the phase-3 fan to the affected subset.
+	// Conservative by construction: a skipped registration's amendment
+	// would provably be the identity (see index.go), so its match,
+	// pattern and stats stay put and it gets an empty delta — exactly
+	// what running the pass would have produced, minus the work.
 	seq := h.seq + 1
+	woken, bypassed := h.planWake(regs, b, changeLog, churnLabels)
+	wokenIdx := make([]int, 0, len(regs))
 	deltas := make([]Delta, len(regs))
+	for i, r := range regs {
+		deltas[i] = Delta{Pattern: r.id, Seq: seq}
+		if woken[i] {
+			wokenIdx = append(wokenIdx, i)
+		}
+	}
+
+	// Phase 3 — per-pattern DER-III + EH-Tree + one amendment pass,
+	// fanned across the worker pool over the woken registrations only;
+	// every worker reads the frozen post-batch epoch. Workers write
+	// into outs/deltas rather than the registrations, and the commit
+	// happens only after the whole fan has joined: that makes the fan
+	// idempotent, so a shard worker lost mid-amendment is repaired by
+	// read failover and the fan simply re-runs against the same
+	// pre-commit state.
+	fanStart := time.Now()
 	type patternPass struct {
 		p     *pattern.Graph
 		match *simulation.Match
@@ -708,7 +809,8 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	// keeps), so every pattern's pass shares one slice.
 	affInfos := elim.AffSetsFromApplication(b.D, affSets)
 	h.readFailover(func() {
-		partition.ForEach(workers, len(regs), func(i int) {
+		partition.ForEach(workers, len(wokenIdx), func(k int) {
+			i := wokenIdx[k]
 			r := regs[i]
 			ups := b.P[r.id]
 			passStart := time.Now()
@@ -734,8 +836,17 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 			}}
 		})
 	})
-	for i, r := range regs {
+	for _, i := range wokenIdx {
+		r := regs[i]
 		r.p, r.match, r.stats = outs[i].p, outs[i].match, outs[i].stats
+		r.wokenSeq = seq
+		if len(b.P[r.id]) > 0 {
+			// ΔGP moved the pattern's labels and bounds: keep the
+			// discrimination signature in lockstep.
+			sig := pattern.SignatureOf(r.p)
+			h.idx.update(r.id, r.sig, sig)
+			r.sig = sig
+		}
 	}
 
 	h.seq = seq
@@ -744,14 +855,17 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	}
 	_, recovered1 := h.Status()
 	h.last = BatchStats{
-		Seq:         seq,
-		DataUpdates: len(b.D),
-		Patterns:    len(regs),
-		SLenSync:    slen,
-		SLenSyncs:   len(b.D),
-		FanOut:      time.Since(fanStart),
-		Duration:    time.Since(start),
-		Recovered:   int(recovered1 - recovered0),
+		Seq:           seq,
+		DataUpdates:   len(b.D),
+		Patterns:      len(regs),
+		SLenSync:      slen,
+		SLenSyncs:     len(b.D),
+		FanOut:        time.Since(fanStart),
+		Duration:      time.Since(start),
+		Recovered:     int(recovered1 - recovered0),
+		Woken:         len(wokenIdx),
+		Skipped:       len(regs) - len(wokenIdx),
+		IndexBypassed: bypassed,
 	}
 	h.cond.Broadcast()
 	return deltas, h.last, nil

@@ -1,0 +1,408 @@
+package hub
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uagpnm/internal/core"
+	"uagpnm/internal/graph"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/updates"
+)
+
+// clusteredInstance builds a data graph of `clusters` label-disjoint
+// communities (no cross-cluster edges, per-cluster label namespaces
+// "c<i>_r<j>") and k patterns, pattern i drawn over cluster i%clusters.
+// This is the low-selectivity regime the discrimination index exists
+// for: a batch confined to one cluster can only touch the patterns of
+// that cluster.
+func clusteredInstance(seed int64, clusters, nodesPer, edgesPer, roles, k int) (*graph.Graph, []*pattern.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(nil)
+	label := func(c, r int) string { return fmt.Sprintf("c%d_r%d", c, r) }
+	for c := 0; c < clusters; c++ {
+		for i := 0; i < nodesPer; i++ {
+			g.AddNode(label(c, rng.Intn(roles)))
+		}
+		lo := uint32(c * nodesPer)
+		for i := 0; i < edgesPer; i++ {
+			g.AddEdge(lo+uint32(rng.Intn(nodesPer)), lo+uint32(rng.Intn(nodesPer)))
+		}
+	}
+	ps := make([]*pattern.Graph, k)
+	for pi := range ps {
+		c := pi % clusters
+		p := pattern.New(g.Labels())
+		ids := make([]pattern.NodeID, 3+rng.Intn(2))
+		for i := range ids {
+			ids[i] = p.AddNode(label(c, rng.Intn(roles)))
+		}
+		for i := 0; i < len(ids)+1; i++ {
+			p.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], pattern.Bound(1+rng.Intn(3)))
+		}
+		ps[pi] = p
+	}
+	return g, ps
+}
+
+// clusterEdgeBatch generates data edge updates confined to one cluster,
+// against the current state of g (flip: delete present edges, insert
+// absent ones).
+func clusterEdgeBatch(rng *rand.Rand, g *graph.Graph, cluster, nodesPer, n int) []updates.Update {
+	lo := uint32(cluster * nodesPer)
+	ups := make([]updates.Update, 0, n)
+	for i := 0; i < n; i++ {
+		u := lo + uint32(rng.Intn(nodesPer))
+		v := lo + uint32(rng.Intn(nodesPer))
+		kind := updates.DataEdgeInsert
+		if g.HasEdge(u, v) {
+			kind = updates.DataEdgeDelete
+		}
+		ups = append(ups, updates.Update{Kind: kind, From: u, To: v})
+	}
+	return ups
+}
+
+// TestHubIndexedDifferential is the tentpole's correctness suite: an
+// indexed hub, an unindexed hub (DisableIndex — the pre-index
+// behaviour) and k independent Scratch sessions must agree on every
+// pattern's match after every batch, serial and wide, while the
+// indexed hub demonstrably skips most of the fan. Run under -race
+// (the tier-1 gate does).
+func TestHubIndexedDifferential(t *testing.T) {
+	const (
+		clusters = 4
+		nodesPer = 14
+		k        = 8
+	)
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	for _, workers := range []int{1, 4} {
+		seed := int64(467200 + workers)
+		g, ps := clusteredInstance(seed, clusters, nodesPer, 40, 3, k)
+
+		indexed := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers})
+		plain := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers, DisableIndex: true})
+		idsI := make([]PatternID, k)
+		idsP := make([]PatternID, k)
+		sessions := make([]*core.Session, k)
+		for i, p := range ps {
+			idsI[i] = mustRegister(t, indexed, p.Clone())
+			idsP[i] = mustRegister(t, plain, p.Clone())
+			sessions[i] = core.NewSession(g.Clone(), p.Clone(),
+				core.Config{Method: core.Scratch, Horizon: 3})
+		}
+
+		rng := rand.New(rand.NewSource(seed * 31))
+		totalWoken, totalSkipped := 0, 0
+		for round := 0; round < rounds; round++ {
+			cluster := round % clusters
+			data := clusterEdgeBatch(rng, indexed.Graph(), cluster, nodesPer, 6)
+
+			dsI, stI, err := indexed.ApplyBatch(Batch{D: data})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dsP, stP, err := plain.ApplyBatch(Batch{D: data})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if stI.Woken+stI.Skipped != stI.Patterns {
+				t.Fatalf("woken %d + skipped %d != patterns %d", stI.Woken, stI.Skipped, stI.Patterns)
+			}
+			if stI.IndexBypassed {
+				t.Fatal("indexed hub reports IndexBypassed")
+			}
+			if !stP.IndexBypassed || stP.Woken != k {
+				t.Fatalf("unindexed hub stats = %+v, want full wake + bypass flag", stP)
+			}
+			totalWoken += stI.Woken
+			totalSkipped += stI.Skipped
+
+			for i := range ps {
+				ref := sessions[i].SQuery(updates.Batch{D: data})
+				gotI, ok := indexed.Match(idsI[i])
+				if !ok {
+					t.Fatalf("pattern %d vanished from indexed hub", idsI[i])
+				}
+				gotP, _ := plain.Match(idsP[i])
+				if !gotI.Equal(ref) {
+					t.Fatalf("workers=%d round=%d pattern=%d: indexed hub diverges from Scratch\nD=%v",
+						workers, round, i, data)
+				}
+				if !gotP.Equal(ref) {
+					t.Fatalf("workers=%d round=%d pattern=%d: unindexed hub diverges from Scratch",
+						workers, round, i)
+				}
+				// The deltas must agree too, not just the end states:
+				// a skipped registration's empty delta is only right if
+				// the unindexed pass also found nothing.
+				if (len(dsI[i].Nodes) == 0) != (len(dsP[i].Nodes) == 0) {
+					t.Fatalf("workers=%d round=%d pattern=%d: delta emptiness diverges (indexed %d nodes, unindexed %d)",
+						workers, round, i, len(dsI[i].Nodes), len(dsP[i].Nodes))
+				}
+			}
+		}
+		// Selectivity: each batch touches one of `clusters` disjoint
+		// communities, so on the order of k/clusters patterns should
+		// wake per batch. Assert the index skipped more than it woke —
+		// loose enough to survive seed changes, tight enough to catch
+		// an index that wakes everyone.
+		if totalSkipped <= totalWoken {
+			t.Fatalf("index never pays: woken %d, skipped %d over %d batches",
+				totalWoken, totalSkipped, rounds)
+		}
+	}
+}
+
+// TestHubIndexNodeChurn pins the churn-label path: node inserts and
+// deletes are invisible to a post-batch reverse BFS (the node is new,
+// or dead), so the index injects their labels at distance zero. A
+// deletion of a matched node must wake exactly the patterns carrying
+// its labels — and the result must match the unindexed hub's.
+func TestHubIndexNodeChurn(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const clusters, nodesPer, k = 3, 10, 6
+		seed := int64(88100 + workers)
+		g, ps := clusteredInstance(seed, clusters, nodesPer, 26, 2, k)
+
+		indexed := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers})
+		plain := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers, DisableIndex: true})
+		idsI := make([]PatternID, k)
+		idsP := make([]PatternID, k)
+		for i, p := range ps {
+			idsI[i] = mustRegister(t, indexed, p.Clone())
+			idsP[i] = mustRegister(t, plain, p.Clone())
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 4; round++ {
+			cluster := round % clusters
+			lo := uint32(cluster * nodesPer)
+			// One node delete in the cluster, one insert carrying the
+			// cluster's labels, plus an insert-then-delete pair (the node
+			// never exists outside the batch — only its insert update
+			// knows its labels).
+			next := uint32(indexed.Graph().NumIDs())
+			data := []updates.Update{
+				{Kind: updates.DataNodeDelete, Node: lo + uint32(rng.Intn(nodesPer))},
+				{Kind: updates.DataNodeInsert, Node: next, Labels: []string{fmt.Sprintf("c%d_r0", cluster)}},
+				{Kind: updates.DataEdgeInsert, From: next, To: lo + uint32(rng.Intn(nodesPer))},
+				{Kind: updates.DataNodeInsert, Node: next + 1, Labels: []string{fmt.Sprintf("c%d_r1", cluster)}},
+				{Kind: updates.DataNodeDelete, Node: next + 1},
+			}
+			if _, _, err := indexed.ApplyBatch(Batch{D: data}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := plain.ApplyBatch(Batch{D: data}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ps {
+				gotI, _ := indexed.Match(idsI[i])
+				gotP, _ := plain.Match(idsP[i])
+				if gotI == nil || gotP == nil || !gotI.Equal(gotP) {
+					t.Fatalf("workers=%d round=%d pattern=%d: node churn diverges indexed vs unindexed",
+						workers, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestHubIndexQuietBatch: a batch whose data side is a pure no-op
+// (inserting an edge that already exists) and that carries no ΔGP must
+// wake nobody.
+func TestHubIndexQuietBatch(t *testing.T) {
+	g, ps := clusteredInstance(5150, 2, 8, 20, 2, 4)
+	// Find an existing edge to re-insert.
+	var from, to uint32
+	found := false
+	for u := 0; u < g.NumIDs() && !found; u++ {
+		if outs := g.Out(uint32(u)); len(outs) > 0 {
+			from, to, found = uint32(u), outs[0], true
+		}
+	}
+	if !found {
+		t.Fatal("instance has no edges")
+	}
+	h := mustHub(t, g.Clone(), Config{Horizon: 3})
+	for _, p := range ps {
+		mustRegister(t, h, p.Clone())
+	}
+	ds, st, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: from, To: to},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Woken != 0 || st.Skipped != 4 || st.IndexBypassed {
+		t.Fatalf("no-op batch stats = %+v, want 0 woken / 4 skipped", st)
+	}
+	for _, d := range ds {
+		if len(d.Nodes) != 0 {
+			t.Fatalf("no-op batch produced a non-empty delta: %+v", d)
+		}
+		if d.Seq != st.Seq {
+			t.Fatalf("skipped delta seq = %d, want %d", d.Seq, st.Seq)
+		}
+	}
+}
+
+// TestHubIndexRegionCap: a cap smaller than the touch region must make
+// the hub wake everyone and flag the bypass — degraded to the
+// pre-index behaviour, never to a wrong skip.
+func TestHubIndexRegionCap(t *testing.T) {
+	g, ps := clusteredInstance(6160, 2, 10, 30, 2, 4)
+	h := mustHub(t, g.Clone(), Config{Horizon: 3, IndexRegionCap: 1})
+	plain := mustHub(t, g.Clone(), Config{Horizon: 3, DisableIndex: true})
+	var idsI, idsP []PatternID
+	for _, p := range ps {
+		idsI = append(idsI, mustRegister(t, h, p.Clone()))
+		idsP = append(idsP, mustRegister(t, plain, p.Clone()))
+	}
+	rng := rand.New(rand.NewSource(6161))
+	data := clusterEdgeBatch(rng, h.Graph(), 0, 10, 5)
+	_, st, err := h.ApplyBatch(Batch{D: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IndexBypassed || st.Woken != len(ps) || st.Skipped != 0 {
+		t.Fatalf("capped stats = %+v, want full wake + bypass", st)
+	}
+	if _, _, err := plain.ApplyBatch(Batch{D: data}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		gotI, _ := h.Match(idsI[i])
+		gotP, _ := plain.Match(idsP[i])
+		if !gotI.Equal(gotP) {
+			t.Fatalf("pattern %d: capped hub diverges from unindexed", i)
+		}
+	}
+}
+
+// TestHubIndexPatternUpdateRefreshesSignature: ΔGP can move a pattern
+// onto entirely different labels; the index must route future batches
+// by the new signature, not the stale one.
+func TestHubIndexPatternUpdateRefreshesSignature(t *testing.T) {
+	g := graph.New(nil)
+	// Two disconnected 3-chains with disjoint labels.
+	a0 := g.AddNode("A")
+	a1 := g.AddNode("A")
+	a2 := g.AddNode("A")
+	b0 := g.AddNode("B")
+	b1 := g.AddNode("B")
+	g.AddEdge(a0, a1)
+	g.AddEdge(a1, a2)
+	g.AddEdge(b0, b1)
+
+	p := pattern.New(g.Labels())
+	u := p.AddNode("A")
+	v := p.AddNode("A")
+	p.AddEdge(u, v, 1)
+
+	h := mustHub(t, g.Clone(), Config{Horizon: 2})
+	id := mustRegister(t, h, p)
+
+	// Rewire the pattern onto label B: delete both A nodes, add two B
+	// nodes (ids continue at 2,3), connect them.
+	pups := []updates.Update{
+		{Kind: updates.PatternNodeDelete, Node: uint32(u)},
+		{Kind: updates.PatternNodeDelete, Node: uint32(v)},
+		{Kind: updates.PatternNodeInsert, Node: 2, Labels: []string{"B"}},
+		{Kind: updates.PatternNodeInsert, Node: 3, Labels: []string{"B"}},
+		{Kind: updates.PatternEdgeInsert, From: 2, To: 3, Bound: 1},
+	}
+	if _, st, err := h.ApplyBatch(Batch{P: map[PatternID][]updates.Update{id: pups}}); err != nil {
+		t.Fatal(err)
+	} else if st.Woken != 1 {
+		t.Fatalf("ΔGP batch woke %d, want 1", st.Woken)
+	}
+
+	// A-side churn must now be skipped…
+	if _, st, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: a2, To: a0},
+	}}); err != nil {
+		t.Fatal(err)
+	} else if st.Woken != 0 {
+		t.Fatalf("A-side batch woke %d after pattern moved to B, want 0", st.Woken)
+	}
+
+	// …and B-side churn must wake the pattern and change its result.
+	b2 := uint32(h.Graph().NumIDs())
+	ds, st, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataNodeInsert, Node: b2, Labels: []string{"B"}},
+		{Kind: updates.DataEdgeInsert, From: b1, To: b2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Woken != 1 {
+		t.Fatalf("B-side batch woke %d, want 1", st.Woken)
+	}
+	if len(ds[0].Nodes) == 0 {
+		t.Fatal("B-side growth produced no delta for the rewired pattern")
+	}
+}
+
+// TestUnregisterReleasesDeltaLog is the retention regression test
+// (heap-size-insensitive): after Unregister the registration's delta
+// log and match are dropped eagerly, so a long-lived reference to the
+// registration — a driver handle, an in-flight poll — cannot pin
+// History × |delta| node sets until GC happens to notice.
+func TestUnregisterReleasesDeltaLog(t *testing.T) {
+	// Deterministic churn: pattern A -1-> B over a 2-node graph whose
+	// only edge toggles every batch, so every batch flips the match and
+	// logs a delta.
+	g := graph.New(nil)
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	p := pattern.New(g.Labels())
+	p.AddEdge(p.AddNode("A"), p.AddNode("B"), 1)
+
+	h := mustHub(t, g.Clone(), Config{Horizon: 2, History: 64})
+	id := mustRegister(t, h, p)
+
+	for round := 0; round < 6; round++ {
+		kind := updates.DataEdgeInsert
+		if round%2 == 1 {
+			kind = updates.DataEdgeDelete
+		}
+		if _, _, err := h.ApplyBatch(Batch{D: []updates.Update{
+			{Kind: kind, From: a, To: b},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h.mu.Lock()
+	r := h.regs[id]
+	logged := len(r.deltas)
+	h.mu.Unlock()
+	if logged == 0 {
+		t.Fatal("update script produced no logged deltas; the test exercises nothing")
+	}
+
+	if !h.Unregister(id) {
+		t.Fatal("Unregister refused a registered id")
+	}
+	if len(r.deltas) != 0 {
+		t.Fatalf("delta log still holds %d entries after Unregister", len(r.deltas))
+	}
+	if r.match != nil {
+		t.Fatal("match still retained after Unregister")
+	}
+	// The index forgot the pattern too: a batch on its labels reports
+	// zero registrations, rather than routing to a ghost.
+	if _, st, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: a, To: b},
+	}}); err != nil {
+		t.Fatal(err)
+	} else if st.Patterns != 0 || st.Woken != 0 {
+		t.Fatalf("post-unregister stats = %+v, want empty hub", st)
+	}
+}

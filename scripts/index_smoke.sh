@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Smoke test for the pattern-set discrimination index: run the -index
+# bench scenario at a reduced-but-honest scale (1k standing queries,
+# mini clustered graph) and assert the two things the index promises —
+# correctness (the indexed and unindexed hubs end on identical results,
+# checked by the scenario's own differential verify) and effect (the
+# per-batch fan actually shrinks, by at least MIN_REDUCTION×). Needs
+# only go + grep + awk; CI runs it after the unit suite
+# (`make index-smoke` locally).
+set -euo pipefail
+
+MIN_REDUCTION="${MIN_REDUCTION:-5}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+echo "index-smoke: running gpnm-bench -index -mini -patterns 1000..."
+go run ./cmd/gpnm-bench -index -mini -patterns 1000 -json "$DIR/index.json" \
+  | tee "$DIR/out.txt"
+
+grep -q '\[results verified equal\]' "$DIR/out.txt" || {
+  echo "index-smoke: FAIL — differential verification line missing" >&2
+  exit 1
+}
+
+# Pull fan_reduction out of the JSON without jq/python: the key is
+# unique and the value a bare number.
+reduction="$(grep -o '"fan_reduction": *[0-9.]*' "$DIR/index.json" | awk '{print $2}')"
+[ -n "$reduction" ] || {
+  echo "index-smoke: FAIL — fan_reduction missing from JSON" >&2
+  exit 1
+}
+awk -v r="$reduction" -v min="$MIN_REDUCTION" 'BEGIN { exit !(r >= min) }' || {
+  echo "index-smoke: FAIL — fan reduction ${reduction}x < required ${MIN_REDUCTION}x" >&2
+  exit 1
+}
+
+echo "index-smoke: OK — fan reduction ${reduction}x (>= ${MIN_REDUCTION}x), results verified equal"

@@ -397,6 +397,13 @@ type HubOptions struct {
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256).
 	History int
+	// DisableIndex turns off the pattern-set discrimination index, so
+	// every batch fans the incremental pass over every registration
+	// instead of only the ones whose label/radius signature the batch
+	// can reach. The indexed and unindexed hubs produce identical
+	// results (the index may over-approximate, never under-approximate);
+	// the switch exists for measurement and as an escape hatch.
+	DisableIndex bool
 }
 
 // Hub hosts many registered patterns as standing queries over one data
@@ -429,6 +436,7 @@ func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
 		SpareShards:     opts.SpareShards,
 		FailoverRetries: opts.FailoverRetries,
 		History:         opts.History,
+		DisableIndex:    opts.DisableIndex,
 	})
 	if err != nil {
 		return nil, err
