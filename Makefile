@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke
+.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke metrics-smoke
 
 all: ci
 
@@ -106,3 +106,9 @@ failover-smoke:
 # equal results and show a real fan-out reduction.
 index-smoke:
 	bash scripts/index_smoke.sh
+
+# Telemetry smoke test: sharded deployment with an ldflags-stamped
+# build; /v1/metrics, /v1/trace, per-pattern stats, worker /metrics and
+# the pprof listener must all answer with the counters advancing.
+metrics-smoke:
+	bash scripts/metrics_smoke.sh

@@ -40,6 +40,7 @@ import (
 	"uagpnm/internal/bench"
 	"uagpnm/internal/datasets"
 	"uagpnm/internal/shard"
+	"uagpnm/internal/version"
 )
 
 type multiFlag []string
@@ -64,7 +65,12 @@ func main() {
 	var tables, figures multiFlag
 	flag.Var(&tables, "table", "print only this table (XI, XII, XIII, XIV); repeatable")
 	flag.Var(&figures, "figure", "print only this figure (5-9); repeatable")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("gpnm-bench"))
+		return
+	}
 
 	if *shards != "" && (*patterns <= 0 || *index) {
 		fmt.Fprintln(os.Stderr, "gpnm-bench: -shards applies to the -patterns scenario (the paper protocol builds many short-lived engines, which one shard fleet cannot serve)")

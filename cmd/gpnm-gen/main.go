@@ -21,6 +21,7 @@ import (
 	"uagpnm"
 	"uagpnm/internal/datasets"
 	"uagpnm/internal/updates"
+	"uagpnm/internal/version"
 )
 
 func main() {
@@ -36,7 +37,12 @@ func main() {
 	patternEdges := flag.Int("pattern-edges", 8, "pattern edges")
 	updateScale := flag.String("updates", "", "optional update batch scale \"p,d\" (e.g. 6,200)")
 	out := flag.String("out", "dataset", "output file prefix")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("gpnm-gen"))
+		return
+	}
 
 	cfg := uagpnm.SocialGraphConfig{
 		Name: "custom", Nodes: *nodes, Edges: *edges, Labels: *labels,

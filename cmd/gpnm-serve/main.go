@@ -51,10 +51,12 @@ import (
 	"uagpnm"
 	"uagpnm/internal/shard"
 	"uagpnm/internal/srvutil"
+	"uagpnm/internal/version"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	graphPath := flag.String("graph", "", "data graph edge list (SNAP format); empty = start empty or synthetic")
 	labelsPath := flag.String("labels", "", "optional node label file for -graph")
 	defaultLabel := flag.String("default-label", "node", "label for nodes without one")
@@ -71,7 +73,13 @@ func main() {
 	noIndex := flag.Bool("no-index", false, "disable the pattern-set discrimination index (every batch fans over every registration; results are identical, this is an escape hatch and measurement aid)")
 	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "maximum long-poll wait")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown drain window")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("gpnm-serve"))
+		return
+	}
+	srvutil.StartPprof(*pprofAddr, "gpnm-serve", os.Stderr)
 
 	g, err := buildGraph(*graphPath, *labelsPath, *defaultLabel, *synthNodes, *synthEdges, *synthLabels, *seed)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"uagpnm/internal/shard"
 	"uagpnm/internal/srvutil"
+	"uagpnm/internal/version"
 )
 
 func main() {
@@ -33,7 +34,14 @@ func main() {
 	// non-loopback address only on a network you trust end to end.
 	addr := flag.String("addr", "127.0.0.1:9101", "listen address (protocol is unauthenticated; expose beyond loopback only on a trusted network)")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown drain window")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("gpnm-shard"))
+		return
+	}
+	srvutil.StartPprof(*pprofAddr, "gpnm-shard", os.Stderr)
 
 	s := shard.NewServer()
 	fmt.Fprintf(os.Stderr, "gpnm-shard: listening on %s (awaiting coordinator /build)\n", *addr)

@@ -34,6 +34,7 @@ import (
 	"uagpnm/internal/core"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/updates"
+	"uagpnm/internal/version"
 )
 
 func main() {
@@ -45,7 +46,12 @@ func main() {
 	horizon := flag.Int("horizon", 0, "SLen hop cap (0 = exact distances); local mode only")
 	workers := flag.Int("workers", 0, "engine worker pool bound (0 = all cores, 1 = serial); local mode only")
 	server := flag.String("server", "", "gpnm-serve address (host:port or http:// URL); runs the query remotely through the client SDK")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("gpnm"))
+		return
+	}
 
 	if *patternPath == "" || (*server == "" && *graphPath == "") {
 		fmt.Fprintln(os.Stderr, "gpnm: -pattern is required, plus -graph (local mode) or -server (remote mode)")

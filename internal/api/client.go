@@ -11,9 +11,11 @@ import (
 	"strings"
 	"time"
 
+	"uagpnm/internal/core"
 	"uagpnm/internal/graph"
 	"uagpnm/internal/hub"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
 	"uagpnm/internal/simulation"
@@ -310,6 +312,40 @@ func (c *Client) WaitDeltas(ctx context.Context, id hub.PatternID, since uint64)
 			return nil, false, err
 		}
 	}
+}
+
+// Stats returns the per-pattern pass statistics of standing query id's
+// last amendment (all zero before the first batch after registration).
+func (c *Client) Stats(ctx context.Context, id hub.PatternID) (core.QueryStats, error) {
+	var body QueryStatsBody
+	if err := c.do(ctx, http.MethodGet, c.patternPath(id, "/stats"), nil, &body); err != nil {
+		return core.QueryStats{}, err
+	}
+	return body.Decode(), nil
+}
+
+// Traces returns the server's retained per-batch phase traces, oldest
+// first; n > 0 caps the result to the most recent n.
+func (c *Client) Traces(ctx context.Context, n int) ([]obs.Trace, error) {
+	path := "/v1/trace"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var resp TracesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// LastTrace returns the phase trace of the server's most recent batch
+// (ok=false before the first batch).
+func (c *Client) LastTrace(ctx context.Context) (obs.Trace, bool, error) {
+	traces, err := c.Traces(ctx, 1)
+	if err != nil || len(traces) == 0 {
+		return obs.Trace{}, false, err
+	}
+	return traces[len(traces)-1], true, nil
 }
 
 // Close releases idle connections; the server is unaffected.

@@ -13,10 +13,12 @@ import (
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/hub"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
 	"uagpnm/internal/srvutil"
 	"uagpnm/internal/updates"
+	"uagpnm/internal/version"
 )
 
 // ServerConfig parameterises the HTTP front end.
@@ -41,6 +43,7 @@ type Server struct {
 	pollTimeout time.Duration
 	onLoss      func(error)
 	lossOnce    sync.Once
+	start       time.Time // process-facing uptime origin for /v1/healthz
 }
 
 // NewServer wraps h with the HTTP front end.
@@ -48,7 +51,7 @@ func NewServer(h *hub.Hub, cfg ServerConfig) *Server {
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 30 * time.Second
 	}
-	return &Server{hub: h, pollTimeout: cfg.PollTimeout, onLoss: cfg.OnSubstrateLoss}
+	return &Server{hub: h, pollTimeout: cfg.PollTimeout, onLoss: cfg.OnSubstrateLoss, start: time.Now()}
 }
 
 // Routes wires the endpoint table:
@@ -60,7 +63,10 @@ func NewServer(h *hub.Hub, cfg ServerConfig) *Server {
 //	GET    /v1/patterns/{id}/snapshot typed pattern + raw simulation images + seq (the client SDK's Snapshot)
 //	DELETE /v1/patterns/{id}          unregister
 //	GET    /v1/patterns/{id}/deltas   long-poll changes since ?since=SEQ
+//	GET    /v1/patterns/{id}/stats    per-pattern pass stats of the last amendment
 //	POST   /v1/apply                  apply one typed update batch
+//	GET    /v1/metrics                hub telemetry, Prometheus text exposition
+//	GET    /v1/trace                  last-N per-batch phase traces (?n= caps, default all retained)
 //
 // The pre-versioning routes (/healthz, /patterns..., /apply with
 // update scripts) stay mounted as thin aliases for one release; new
@@ -75,8 +81,14 @@ func (s *Server) Routes() http.Handler {
 		mux.HandleFunc("GET "+prefix+"/patterns/{id}/deltas", s.handleDeltas)
 	}
 	mux.HandleFunc("GET /v1/patterns/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/patterns/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/apply", s.handleApply)
 	mux.HandleFunc("POST /apply", s.handleApplyLegacy)
+	// The metrics exposition is the registry itself; /metrics is the
+	// conventional scrape alias of the versioned route.
+	mux.Handle("GET /v1/metrics", s.hub.Metrics())
+	mux.Handle("GET /metrics", s.hub.Metrics())
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	return mux
 }
 
@@ -157,11 +169,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := HealthBody{
-		OK:       true,
-		Seq:      s.hub.Seq(),
-		Patterns: len(s.hub.Patterns()),
+		OK:            true,
+		Seq:           s.hub.Seq(),
+		Patterns:      len(s.hub.Patterns()),
+		Version:       version.Version,
+		Commit:        version.CommitOrEmbedded(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	_, body.Recovered = s.hub.Status()
+	if last := s.hub.LastBatch(); last.Seq > 0 {
+		lb := EncodeBatchStats(last)
+		body.LastBatch = &lb
+	}
 	st := s.hub.GraphStats() // synchronised: /apply may be mutating the graph
 	body.Nodes, body.Edges, body.Labels = st.Nodes, st.Edges, st.Labels
 	status := http.StatusOK
@@ -283,6 +302,40 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	srvutil.WriteJSON(w, http.StatusOK, UnregisterResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	id, err := patternID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	st, err := s.hub.PatternStatsErr(id)
+	if err != nil {
+		s.hubError(w, err)
+		return
+	}
+	srvutil.WriteJSON(w, http.StatusOK, EncodeQueryStats(id, st))
+}
+
+// handleTrace serves the retained per-batch phase traces, oldest first;
+// ?n= keeps only the most recent n.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	traces := s.hub.Metrics().Traces()
+	if traces == nil {
+		traces = []obs.Trace{} // non-null JSON array, like every list in this package
+	}
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad n %q", raw)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[len(traces)-n:]
+		}
+	}
+	srvutil.WriteJSON(w, http.StatusOK, TracesResponse{Traces: traces})
 }
 
 // applyBatch runs one assembled batch and renders the response — the

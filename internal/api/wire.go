@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"time"
 
+	"uagpnm/internal/core"
 	"uagpnm/internal/graph"
 	"uagpnm/internal/hub"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/simulation"
 	"uagpnm/internal/updates"
@@ -81,6 +83,16 @@ type HealthBody struct {
 	Nodes      int    `json:"nodes"`
 	Edges      int    `json:"edges"`
 	Labels     int    `json:"labels"`
+	// Version/Commit identify the serving build (ldflags-stamped, or the
+	// module's VCS stamp); UptimeSeconds the time since the front end
+	// started. Omitted on the recovering fast path.
+	Version       string  `json:"version,omitempty"`
+	Commit        string  `json:"commit,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	// LastBatch carries the phase timings of the most recent ApplyBatch
+	// (absent before the first batch), so a scrape of /v1/healthz alone
+	// answers "what did the last batch cost".
+	LastBatch *BatchStatsBody `json:"last_batch,omitempty"`
 }
 
 // RegisterRequest registers a standing pattern: either the textual DSL
@@ -464,4 +476,62 @@ type DeltasResponse struct {
 // UnregisterResponse answers DELETE /v1/patterns/{id}.
 type UnregisterResponse struct {
 	OK bool `json:"ok"`
+}
+
+// TracesResponse answers GET /v1/trace: the retained per-batch phase
+// traces, oldest first. obs.Trace is its own wire form — json-tagged
+// plain data, built by the batch's single writer — so the response
+// carries it directly instead of a parallel body type.
+type TracesResponse struct {
+	Traces []obs.Trace `json:"traces"`
+}
+
+// QueryStatsBody answers GET /v1/patterns/{id}/stats: the per-pattern
+// pass statistics of one standing query's last amendment (all zero
+// before the first batch after registration).
+type QueryStatsBody struct {
+	ID             uint64  `json:"id"`
+	DurationMillis float64 `json:"duration_millis"`
+	Passes         int     `json:"passes"`
+	DataUpdates    int     `json:"data_updates"`
+	PatternUpdates int     `json:"pattern_updates"`
+	TreeSize       int     `json:"tree_size"`
+	TreeRoots      int     `json:"tree_roots"`
+	Eliminated     int     `json:"eliminated"`
+	SeedNodes      int     `json:"seed_nodes"`
+	SLenSyncMillis float64 `json:"slen_sync_millis"`
+	SLenSyncs      int     `json:"slen_syncs"`
+}
+
+// EncodeQueryStats converts one pattern's pass stats to the wire form.
+func EncodeQueryStats(id hub.PatternID, st core.QueryStats) QueryStatsBody {
+	return QueryStatsBody{
+		ID:             uint64(id),
+		DurationMillis: millis(st.Duration),
+		Passes:         st.Passes,
+		DataUpdates:    st.DataUpdates,
+		PatternUpdates: st.PatternUpdates,
+		TreeSize:       st.TreeSize,
+		TreeRoots:      st.TreeRoots,
+		Eliminated:     st.Eliminated,
+		SeedNodes:      st.SeedNodes,
+		SLenSyncMillis: millis(st.SLenSync),
+		SLenSyncs:      st.SLenSyncs,
+	}
+}
+
+// Decode converts the wire stats back to core.QueryStats.
+func (b QueryStatsBody) Decode() core.QueryStats {
+	return core.QueryStats{
+		Duration:       time.Duration(b.DurationMillis * float64(time.Millisecond)),
+		Passes:         b.Passes,
+		DataUpdates:    b.DataUpdates,
+		PatternUpdates: b.PatternUpdates,
+		TreeSize:       b.TreeSize,
+		TreeRoots:      b.TreeRoots,
+		Eliminated:     b.Eliminated,
+		SeedNodes:      b.SeedNodes,
+		SLenSync:       time.Duration(b.SLenSyncMillis * float64(time.Millisecond)),
+		SLenSyncs:      b.SLenSyncs,
+	}
 }

@@ -3,12 +3,14 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"uagpnm/internal/core"
 	"uagpnm/internal/datasets"
 	"uagpnm/internal/hub"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/patgen"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/updates"
@@ -51,6 +53,13 @@ type MultiPatternSide struct {
 	SLenSeconds  float64 `json:"slen_sync_seconds"` // substrate synchronisation only
 	SLenSyncs    int     `json:"slen_syncs"`        // data updates synchronised into substrates
 	TotalSeconds float64 `json:"total_seconds"`     // whole SQuery / ApplyBatch wall time
+	// Phases is the per-phase wall-time breakdown (seconds summed over
+	// the run's batches), read from the telemetry registry's
+	// gpnm_batch_phase_seconds histograms rather than ad-hoc timers —
+	// substrate phases (pre_balls, oplog_flush, overlay_sync,
+	// post_balls, row_prefetch), hub phases (slen_sync, wake_plan,
+	// amend_fan), and any recovery spans. Hub side only.
+	Phases map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // MultiPatternResult is the measured comparison.
@@ -127,9 +136,12 @@ func RunMultiPattern(cfg MultiPatternConfig) MultiPatternResult {
 	res := MultiPatternResult{Config: cfg, Env: CaptureEnv(cfg.Workers, len(cfg.Shards)), Verified: cfg.Verify}
 
 	// One hub, N standing queries, one substrate (optionally sharded
-	// across remote workers).
+	// across remote workers). The hub gets a private telemetry registry
+	// so the per-phase breakdown below attributes this run's hub side
+	// only — not the comparison sessions, not any other run in-process.
+	reg := obs.NewRegistry()
 	start := time.Now()
-	h, err := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers, Shards: cfg.Shards})
+	h, err := hub.New(g.Clone(), hub.Config{Horizon: cfg.Horizon, Workers: cfg.Workers, Shards: cfg.Shards, Metrics: reg})
 	if err != nil {
 		panic("bench: hub build failed: " + err.Error())
 	}
@@ -152,6 +164,7 @@ func RunMultiPattern(cfg MultiPatternConfig) MultiPatternResult {
 		res.Hub.SLenSyncs += st.SLenSyncs
 		res.Hub.TotalSeconds += st.Duration.Seconds()
 	}
+	res.Hub.Phases = reg.HistogramSums("gpnm_batch_phase_seconds")
 
 	// N independent UA-GPNM sessions, N substrates.
 	start = time.Now()
@@ -208,6 +221,18 @@ func (r MultiPatternResult) String() string {
 	}
 	row("hub (1 substrate)", r.Hub)
 	row(fmt.Sprintf("%d sessions", r.Config.Patterns), r.Sessions)
+	if len(r.Hub.Phases) > 0 {
+		names := make([]string, 0, len(r.Hub.Phases))
+		for name := range r.Hub.Phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sb.WriteString("hub phase breakdown (s):")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "  %s=%.4f", name, r.Hub.Phases[name])
+		}
+		sb.WriteString("\n")
+	}
 	fmt.Fprintf(&sb, "SLen work ratio (hub/sessions): %.3f by syncs, %.3f by time",
 		r.SLenSyncRatio, r.SLenTimeRatio)
 	if r.Verified {

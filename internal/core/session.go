@@ -30,6 +30,7 @@ import (
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/partition"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
@@ -106,6 +107,12 @@ type Config struct {
 	// negative = disable failover, the every-loss-poisons pre-failover
 	// model). See partition.WithFailoverRetries.
 	FailoverRetries int
+	// Metrics, when non-nil, receives the UA-GPNM substrate's telemetry
+	// (batch phase histograms, recovery counters, RPC latency/bytes for
+	// sharded engines) instead of the process-global obs.Default. The
+	// bench harness uses a private registry per run to read an isolated
+	// per-phase breakdown; servers leave it nil.
+	Metrics *obs.Registry
 }
 
 // QueryStats records the work of the last SQuery.
@@ -209,16 +216,23 @@ func NewEngineFor(g *graph.Graph, cfg Config) shortest.DistanceEngine {
 		if cfg.Workers > 0 {
 			opts = append(opts, partition.WithWorkers(cfg.Workers))
 		}
+		if cfg.Metrics != nil {
+			opts = append(opts, partition.WithMetrics(cfg.Metrics))
+		}
 		if len(cfg.ShardAddrs) > 0 {
+			reg := cfg.Metrics
+			if reg == nil {
+				reg = obs.Default
+			}
 			shs := make([]shard.Shard, len(cfg.ShardAddrs))
 			for i, addr := range cfg.ShardAddrs {
-				shs[i] = shard.Dial(addr)
+				shs[i] = shard.DialWith(addr, reg)
 			}
 			opts = append(opts, partition.WithShards(shs...))
 			if len(cfg.SpareShardAddrs) > 0 {
 				spares := make([]shard.Shard, len(cfg.SpareShardAddrs))
 				for i, addr := range cfg.SpareShardAddrs {
-					spares[i] = shard.Dial(addr)
+					spares[i] = shard.DialWith(addr, reg)
 				}
 				opts = append(opts, partition.WithSpares(spares...))
 			}

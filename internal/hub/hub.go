@@ -46,6 +46,7 @@ import (
 	"uagpnm/internal/elim"
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/partition"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
@@ -116,6 +117,13 @@ type Config struct {
 	// that batch (every pattern woken, BatchStats.IndexBypassed set).
 	// 0 = no cap.
 	IndexRegionCap int
+	// Metrics, when non-nil, receives the hub's telemetry — batch phase
+	// histograms (shared with the substrate's, under one
+	// gpnm_batch_phase_seconds family), wake counters, per-batch traces,
+	// and the sharded substrate's RPC histograms — instead of the
+	// process-global obs.Default. Servers leave it nil; the bench
+	// harness passes a private registry per run.
+	Metrics *obs.Registry
 }
 
 // Batch is one epoch's worth of updates for the whole hub: a shared
@@ -209,6 +217,7 @@ type Hub struct {
 	next  PatternID
 	seq   uint64
 	last  BatchStats
+	obs   *obs.Registry
 
 	// lost poisons the hub after an unrecoverable substrate loss (the
 	// engine's failover found no surviving or spare worker, or its
@@ -233,6 +242,10 @@ func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 		cfg.History = 256
 	}
 	h = &Hub{g: g, cfg: cfg, regs: make(map[PatternID]*registration), idx: newPatternIndex(), next: 1}
+	h.obs = cfg.Metrics
+	if h.obs == nil {
+		h.obs = obs.Default
+	}
 	h.cond = sync.NewCond(&h.mu)
 	h.eng = core.NewEngineFor(g, core.Config{
 		Method:          cfg.Method,
@@ -243,6 +256,7 @@ func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 		ShardAddrs:      cfg.Shards,
 		SpareShardAddrs: cfg.SpareShards,
 		FailoverRetries: cfg.FailoverRetries,
+		Metrics:         cfg.Metrics,
 	})
 	defer partition.RecoverSubstrateLoss(&err)
 	h.eng.Build()
@@ -593,6 +607,36 @@ func (h *Hub) PatternStats(id PatternID) (core.QueryStats, bool) {
 	return r.stats, true
 }
 
+// PatternStatsErr is PatternStats under the Service error contract:
+// ErrUnknownPattern for an unregistered id, the sticky substrate loss
+// on a poisoned hub. The API front end's /stats endpoint reads through
+// this so the two failure modes map to distinct wire errors.
+func (h *Hub) PatternStatsErr(id PatternID) (core.QueryStats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lost != nil {
+		return core.QueryStats{}, h.lost
+	}
+	r, ok := h.regs[id]
+	if !ok {
+		return core.QueryStats{}, ErrUnknownPattern
+	}
+	return r.stats, nil
+}
+
+// Metrics returns the hub's telemetry registry (Config.Metrics, or the
+// process-global default). The API front end serves it at /v1/metrics;
+// it also holds the per-batch phase traces behind /v1/trace.
+func (h *Hub) Metrics() *obs.Registry { return h.obs }
+
+// span records one hub-side batch phase into the same histogram family
+// the substrate's phases land in, and into the batch's trace.
+func (h *Hub) span(tr *obs.Trace, name string, start time.Time) {
+	d := time.Since(start)
+	h.obs.Histogram("gpnm_batch_phase_seconds", "phase", name).Observe(d)
+	tr.AddSpan(name, d)
+}
+
 // ApplyBatch processes one update batch for every standing query and
 // returns one Delta per registered pattern, in registration order
 // (possibly with empty Nodes), together with this batch's shared-work
@@ -626,6 +670,17 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	defer partition.RecoverSubstrateLoss(&err)
 	start := time.Now()
 	_, recovered0 := h.Status()
+	h.obs.Counter("gpnm_hub_batches_total").Inc()
+
+	// One trace per batch: hub phases append to it directly, and the
+	// partition substrate's ApplyDataBatch phases flow into it through
+	// the trace sink. Safe because ApplyBatch is the single writer (h.mu
+	// held) and the sink is detached before returning.
+	tr := &obs.Trace{Start: start}
+	if pe, ok := h.eng.(*partition.Engine); ok {
+		pe.SetTraceSink(tr)
+		defer pe.SetTraceSink(nil)
+	}
 
 	// Validate fully before touching anything: the appliers panic on
 	// malformed batches (wrong-side updates, mispredicted node-insert
@@ -735,6 +790,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	workers := h.fanWorkers()
 	canInfos := make([][]elim.Info, len(regs))
 	if len(b.P) > 0 {
+		der1Start := time.Now()
 		var withUps []int
 		for i, r := range regs {
 			if len(b.P[r.id]) > 0 {
@@ -748,6 +804,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 				canInfos[i] = elim.CanSets(b.P[r.id], r.match, r.p, h.g, h.eng)
 			})
 		})
+		h.span(tr, "der1_fan", der1Start)
 	}
 
 	// Phase 2 — the single writer advances the epoch: one structural
@@ -771,6 +828,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		changeLog = log.Set()
 	}
 	slen := time.Since(slenStart)
+	h.span(tr, "slen_sync", slenStart)
 
 	// Wake planning — the discrimination index routes the batch's touch
 	// set (change log + churn labels) through the label × radius
@@ -780,7 +838,9 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	// pattern and stats stay put and it gets an empty delta — exactly
 	// what running the pass would have produced, minus the work.
 	seq := h.seq + 1
+	wakeStart := time.Now()
 	woken, bypassed := h.planWake(regs, b, changeLog, churnLabels)
+	h.span(tr, "wake_plan", wakeStart)
 	wokenIdx := make([]int, 0, len(regs))
 	deltas := make([]Delta, len(regs))
 	for i, r := range regs {
@@ -836,6 +896,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 			}}
 		})
 	})
+	h.span(tr, "amend_fan", fanStart)
 	for _, i := range wokenIdx {
 		r := regs[i]
 		r.p, r.match, r.stats = outs[i].p, outs[i].match, outs[i].stats
@@ -867,6 +928,20 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		Skipped:       len(regs) - len(wokenIdx),
 		IndexBypassed: bypassed,
 	}
+	h.obs.Counter("gpnm_hub_woken_total").Add(uint64(h.last.Woken))
+	h.obs.Counter("gpnm_hub_skipped_total").Add(uint64(h.last.Skipped))
+	if bypassed {
+		h.obs.Counter("gpnm_hub_index_bypassed_total").Inc()
+	}
+	h.obs.Gauge("gpnm_hub_seq").Set(int64(seq))
+	h.obs.Gauge("gpnm_hub_patterns").Set(int64(len(regs)))
+	tr.Seq = seq
+	tr.DataUpdates = len(b.D)
+	tr.Patterns = len(regs)
+	tr.Woken = h.last.Woken
+	tr.Skipped = h.last.Skipped
+	tr.Recovered = h.last.Recovered
+	h.obs.RecordTrace(*tr)
 	h.cond.Broadcast()
 	return deltas, h.last, nil
 }

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"time"
+
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
 	"uagpnm/internal/shard"
@@ -56,9 +58,11 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	}
 	defer RecoverSubstrateLoss(&err)
 	e.resetFailoverBudget()
+	e.metrics.Counter("gpnm_batches_total").Inc()
 	perUpdate = make([]nodeset.Set, len(ds))
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
+	phaseStart := time.Now()
 	if e.remote {
 		e.withFailover(nil, func() { e.remoteAffected(ds, g, false, nil, perUpdate) })
 	} else {
@@ -76,12 +80,15 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 		})
 	}
 
+	e.span("pre_balls", phaseStart)
+
 	// Phase 2: structural application in update order; the overlay is
 	// left stale, accumulating dirty anchors. In-process shards apply
 	// each op as it is staged; for remote shards the ordered op list is
 	// flushed once at the end (their affected sets settle into dirty
 	// afterwards — a superset of the per-op translation, since every
 	// bridge-status change already dirties its endpoints directly).
+	phaseStart = time.Now()
 	var dirty nodeset.Builder
 	applied := make([]bool, len(ds))
 	var pending []shard.Op
@@ -122,15 +129,19 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	if e.remote {
 		e.applyOps(pending, &dirty)
 	}
+	e.span("oplog_flush", phaseStart)
 
 	// Phase 3: one overlay reconciliation for the whole batch; the
 	// materialised row caches are stale either way.
+	phaseStart = time.Now()
 	if dirty.Len() > 0 {
 		e.withFailover(nil, func() { e.ov.recompute(dirty.Set(), e.workers) })
 	}
 	e.invalidate()
+	e.span("overlay_sync", phaseStart)
 
 	// Phase 4: post-state balls for insertions; assemble the change log.
+	phaseStart = time.Now()
 	if e.remote {
 		e.withFailover(nil, func() { e.remoteAffected(ds, g, true, applied, perUpdate) })
 	} else {
@@ -153,8 +164,11 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 		}
 	}
 	changeLog = log.Set()
+	e.span("post_balls", phaseStart)
 
 	// Warm the rows the amendment will query.
+	phaseStart = time.Now()
 	e.withFailover(nil, func() { e.prefetchRows(changeLog) })
+	e.span("row_prefetch", phaseStart)
 	return perUpdate, changeLog, nil
 }

@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/shard"
 	"uagpnm/internal/shortest"
 	"uagpnm/internal/updates"
@@ -136,6 +138,35 @@ type Engine struct {
 	// once set it never clears.
 	lostMu sync.Mutex
 	lost   error
+
+	// metrics receives the engine's telemetry (batch phase latencies,
+	// recovery counters); never nil — obs.Default unless WithMetrics.
+	// trace, when non-nil, additionally collects each completed phase
+	// span into the current batch's trace. It is set by the single
+	// mutation writer (SetTraceSink) and only ever read from the
+	// mutation goroutine, so it needs no lock.
+	metrics *obs.Registry
+	trace   *obs.Trace
+}
+
+// SetTraceSink directs the engine's per-phase spans (batch phases,
+// recovery spans) into t in addition to the metrics registry — the hub
+// sets one per batch so GET /v1/trace can show a batch's full phase
+// breakdown. Pass nil to detach. Caller contract: only the single
+// mutation writer may set or clear the sink, and the sink must stay
+// attached for the whole mutation (spans are appended from the
+// mutation goroutine only).
+func (e *Engine) SetTraceSink(t *obs.Trace) { e.trace = t }
+
+// span records one completed phase: a latency observation in the
+// shared gpnm_batch_phase_seconds histogram family and, when a trace
+// sink is attached, a span in the current batch's trace.
+func (e *Engine) span(name string, start time.Time) {
+	d := time.Since(start)
+	e.metrics.Histogram("gpnm_batch_phase_seconds", "phase", name).Observe(d)
+	if e.trace != nil {
+		e.trace.AddSpan(name, d)
+	}
 }
 
 // Err reports the sticky substrate-loss error (nil while healthy). Once
@@ -275,6 +306,18 @@ func WithSpares(shs ...shard.Shard) Option {
 	return func(e *Engine) { e.spares = append(e.spares, shs...) }
 }
 
+// WithMetrics directs the engine's telemetry (phase latency
+// histograms, recovery counters, trace spans) into reg instead of the
+// process-global obs.Default — the bench harness isolates the hub
+// side's phases this way.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) {
+		if reg != nil {
+			e.metrics = reg
+		}
+	}
+}
+
 // WithFailoverRetries bounds how many distinct shard losses one
 // failover boundary — a data batch's phases, a build, a horizon
 // widening, one WithReadFailover fan — may absorb before the engine
@@ -301,7 +344,7 @@ func WithFailoverRetries(n int) Option {
 // intra rows constantly, and hybrid rows cost O(ball) per scan where
 // dense rows cost O(|Pi|).
 func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
-	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8, failoverRetries: 1}
+	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8, failoverRetries: 1, metrics: obs.Default}
 	for _, o := range opts {
 		o(e)
 	}
@@ -1164,6 +1207,9 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 		stitched:        e.stitched,
 		workers:         e.workers,
 		failoverRetries: e.failoverRetries,
+		// The clone shares the parent's registry but not its trace sink:
+		// a forked engine's batches are their own, not the parent batch's.
+		metrics: e.metrics,
 	}
 	c.initPools()
 	p := e.part

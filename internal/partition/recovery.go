@@ -3,6 +3,7 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"uagpnm/internal/nodeset"
 )
@@ -114,7 +115,10 @@ func (e *Engine) withFailover(dirty *nodeset.Builder, phase func()) {
 		}
 		e.recoveryBudget--
 		e.recoveringFlag.Store(true)
+		e.metrics.Counter("gpnm_recovery_retries_total").Inc()
+		recoveryStart := time.Now()
 		err := e.recoverShards(f, dirty)
+		e.span("recovery", recoveryStart)
 		e.recoveringFlag.Store(false)
 		if err != nil {
 			// Keep the original transport error in the chain: callers
@@ -139,6 +143,7 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 		// 1. Quarantine suspects and probe the remaining alive slots —
 		// probes fan in parallel so detection costs one Ping timeout,
 		// not one per worker.
+		probeStart := time.Now()
 		probe := e.aliveIndices()
 		probeDead := make([]bool, len(probe))
 		parallelFor(len(probe), len(probe), func(k int) {
@@ -151,6 +156,7 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 			}
 			e.shardAlive[i] = false
 			_ = e.shards[i].Close()
+			e.metrics.Counter("gpnm_recovery_quarantined_total").Inc()
 			for p, s := range e.shardOf {
 				if int(s) == i {
 					lostParts[p] = true
@@ -158,6 +164,7 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 			}
 		}
 		suspect = map[int]bool{}
+		e.span("recovery_probe", probeStart)
 
 		// 2. Promote spares into dead slots (slot index preserved).
 		fresh := map[int]bool{}
@@ -175,6 +182,7 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 				e.shards[i] = sp
 				e.shardAlive[i] = true
 				fresh[i] = true
+				e.metrics.Counter("gpnm_recovery_promoted_total").Inc()
 				break
 			}
 		}
@@ -198,6 +206,7 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 		// and rebuild absorbed partitions on survivors, all from the
 		// coordinator's current mirrors. The fence in cfg.Epoch marks
 		// those snapshots as already containing the in-flight flush.
+		rebuildStart := time.Now()
 		cfg := e.shardConfig()
 		src := &engineSource{e: e}
 		owned := e.groupByShard()
@@ -212,11 +221,13 @@ func (e *Engine) recoverShards(f *shardFault, dirty *nodeset.Builder) error {
 			default:
 				continue
 			}
+			e.metrics.Counter("gpnm_recovery_rebuilds_total").Inc()
 			if err != nil {
 				suspect[i] = true
 				ok = false
 			}
 		}
+		e.span("recovery_rebuild", rebuildStart)
 		if !ok {
 			continue
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/shortest"
 )
 
@@ -47,6 +48,7 @@ func (e *TransportError) Unwrap() error { return e.Err }
 type RPC struct {
 	base string
 	hc   *http.Client
+	obs  *obs.Registry // per-endpoint latency/bytes/retry/failure telemetry
 
 	mu   sync.Mutex
 	rows map[rowKey][]rowEntry
@@ -77,16 +79,27 @@ func ParseAddrs(spec string) []string {
 }
 
 // Dial returns a client for the worker at addr ("host:port" or a full
-// http:// URL). It performs no I/O; the first call does.
-func Dial(addr string) *RPC {
+// http:// URL). It performs no I/O; the first call does. Telemetry
+// goes to obs.Default; use DialWith to isolate it.
+func Dial(addr string) *RPC { return DialWith(addr, obs.Default) }
+
+// DialWith is Dial with the telemetry registry chosen by the caller:
+// every remote call records a per-endpoint latency histogram
+// (gpnm_rpc_seconds), bytes in/out (gpnm_rpc_bytes_total) and
+// retry/failure counters into reg.
+func DialWith(addr string, reg *obs.Registry) *RPC {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
+	if reg == nil {
+		reg = obs.Default
+	}
 	return &RPC{
 		base: base,
 		hc:   &http.Client{}, // per-request deadlines set in post()
+		obs:  reg,
 		rows: make(map[rowKey][]rowEntry),
 	}
 }
@@ -118,7 +131,17 @@ func (r *RPC) Remote() bool { return true }
 // Retrying an /ops whose response was lost is safe: the stream is
 // epoch-fenced, so a worker that already applied the epoch answers its
 // recorded response instead of re-applying.
-func (r *RPC) post(op, path string, in, out interface{}) error {
+func (r *RPC) post(op, path string, in, out interface{}) (err error) {
+	// Per-endpoint telemetry: one latency observation per call (retries
+	// included — the coordinator waits for the whole thing), bytes as
+	// they cross the wire, failure counted once per failed call.
+	start := time.Now()
+	defer func() {
+		r.obs.Histogram("gpnm_rpc_seconds", "endpoint", path).Observe(time.Since(start))
+		if err != nil {
+			r.obs.Counter("gpnm_rpc_failures_total", "endpoint", path).Inc()
+		}
+	}()
 	body, err := json.Marshal(in)
 	if err != nil {
 		return &TransportError{Addr: r.base, Op: op, Err: err}
@@ -126,6 +149,7 @@ func (r *RPC) post(op, path string, in, out interface{}) error {
 	var last error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
+			r.obs.Counter("gpnm_rpc_retries_total", "endpoint", path).Inc()
 			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), reqTimeout(path))
@@ -135,6 +159,7 @@ func (r *RPC) post(op, path string, in, out interface{}) error {
 			return &TransportError{Addr: r.base, Op: op, Err: err}
 		}
 		req.Header.Set("Content-Type", "application/json")
+		r.obs.Counter("gpnm_rpc_bytes_total", "endpoint", path, "direction", "out").Add(uint64(len(body)))
 		resp, err := r.hc.Do(req)
 		if err != nil {
 			cancel()
@@ -144,6 +169,7 @@ func (r *RPC) post(op, path string, in, out interface{}) error {
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		cancel()
+		r.obs.Counter("gpnm_rpc_bytes_total", "endpoint", path, "direction", "in").Add(uint64(len(data)))
 		if err != nil {
 			last = err
 			continue
@@ -171,7 +197,14 @@ func (r *RPC) dropRows() {
 // Ping probes the worker's /healthz with a short bounded GET and no
 // retries — the failover controller calls it to separate dead workers
 // from transient faults, so it must answer fast either way.
-func (r *RPC) Ping() error {
+func (r *RPC) Ping() (err error) {
+	start := time.Now()
+	defer func() {
+		r.obs.Histogram("gpnm_rpc_seconds", "endpoint", "/healthz").Observe(time.Since(start))
+		if err != nil {
+			r.obs.Counter("gpnm_rpc_failures_total", "endpoint", "/healthz").Inc()
+		}
+	}()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)

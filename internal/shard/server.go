@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"uagpnm/internal/graph"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/shortest"
 	"uagpnm/internal/srvutil"
 	"uagpnm/internal/workpool"
@@ -47,14 +49,36 @@ type Server struct {
 	lastResp  *opsResponse
 
 	gballPool sync.Pool
+
+	// Worker-side telemetry: per-endpoint request counts and service
+	// latency, plus the applied-op counter. Each gpnm-shard process owns
+	// its own registry (the process-global default), served at /metrics,
+	// so the coordinator's client-side RPC histograms can be compared
+	// against the worker's server-side view to isolate transport cost.
+	obs *obs.Registry
 }
 
 // NewServer returns an empty worker; /build initialises it.
 func NewServer() *Server {
-	s := &Server{subs: make(map[int]*graph.Graph)}
+	s := &Server{subs: make(map[int]*graph.Graph), obs: obs.Default}
 	s.local = NewLocal(s.subOf)
 	s.gballPool.New = func() interface{} { return shortest.NewGraphBall() }
 	return s
+}
+
+// Metrics reports the worker's telemetry registry (also served at
+// GET /metrics on the worker's own port).
+func (s *Server) Metrics() *obs.Registry { return s.obs }
+
+// instrument wraps one endpoint handler with the worker-side request
+// counter and service-latency histogram for that endpoint.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.obs.Counter("gpnm_worker_requests_total", "endpoint", endpoint).Inc()
+		s.obs.Histogram("gpnm_worker_request_seconds", "endpoint", endpoint).Observe(time.Since(start))
+	}
 }
 
 // subOf is the subgraph accessor the embedded Local shard reads through.
@@ -69,19 +93,21 @@ func (s *Server) subOf(part int) *graph.Graph { return s.subs[part] }
 //	POST /row       one full-horizon intra row (part, src, reverse)
 //	POST /ops       apply one ordered, epoch-fenced op batch
 //	POST /affected  conservative balls against the data-graph replica
+//	GET  /metrics   worker-side telemetry, Prometheus text exposition
 //
 // There is no point-distance endpoint: the client answers Dist (and
 // every ball) from the cached full-horizon /row, which the engine's
 // query patterns re-read many times per epoch anyway.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /build", s.handleBuild)
-	mux.HandleFunc("POST /rebuild", s.handleRebuild)
-	mux.HandleFunc("POST /horizon", s.handleHorizon)
-	mux.HandleFunc("POST /row", s.handleRow)
-	mux.HandleFunc("POST /ops", s.handleOps)
-	mux.HandleFunc("POST /affected", s.handleAffected)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("POST /build", s.instrument("/build", s.handleBuild))
+	mux.HandleFunc("POST /rebuild", s.instrument("/rebuild", s.handleRebuild))
+	mux.HandleFunc("POST /horizon", s.instrument("/horizon", s.handleHorizon))
+	mux.HandleFunc("POST /row", s.instrument("/row", s.handleRow))
+	mux.HandleFunc("POST /ops", s.instrument("/ops", s.handleOps))
+	mux.HandleFunc("POST /affected", s.instrument("/affected", s.handleAffected))
+	mux.Handle("GET /metrics", s.obs)
 	return mux
 }
 
@@ -259,6 +285,7 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	if req.Epoch != 0 {
 		s.lastEpoch, s.lastResp = req.Epoch, &resp
 	}
+	s.obs.Counter("gpnm_worker_ops_total").Add(uint64(len(req.Ops)))
 	srvutil.WriteJSON(w, http.StatusOK, resp)
 }
 

@@ -12,11 +12,35 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux StartPprof serves
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 )
+
+// StartPprof serves net/http/pprof on its own listener when addr is
+// non-empty — the opt-in -pprof flag of gpnm-serve and gpnm-shard. It
+// is deliberately a separate listener: the profiling surface never
+// mounts on the public API port, so exposing one is an explicit
+// operator decision per address. Returns immediately; serving errors
+// (bad addr, port taken) are logged, not fatal — a broken profiler
+// must not take the serving process down with it.
+func StartPprof(addr, name string, logw io.Writer) {
+	if addr == "" {
+		return
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "%s: pprof listening on %s (http://%s/debug/pprof/)\n", name, addr, addr)
+	}
+	go func() {
+		// nil handler = http.DefaultServeMux, where the pprof import
+		// registered its handlers.
+		if err := http.ListenAndServe(addr, nil); err != nil && logw != nil {
+			fmt.Fprintf(logw, "%s: pprof server: %v\n", name, err)
+		}
+	}()
+}
 
 // WriteJSON renders v as the JSON response body with the given status.
 func WriteJSON(w http.ResponseWriter, status int, v interface{}) {

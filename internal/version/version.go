@@ -1,0 +1,49 @@
+// Package version carries the build identity every binary reports: the
+// -version flag on the five cmds and the version/commit fields of
+// GET /v1/healthz. The variables are plain strings so release builds
+// stamp them through the linker:
+//
+//	go build -ldflags "-X uagpnm/internal/version.Version=v1.2.3 \
+//	                   -X uagpnm/internal/version.Commit=$(git rev-parse --short HEAD)" ./...
+//
+// Unstamped builds fall back to the module build info Go embeds in
+// every binary (vcs.revision when built inside a checkout), so even a
+// bare `go build` reports something traceable.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+var (
+	// Version is the release version ("dev" unless stamped via -ldflags).
+	Version = "dev"
+	// Commit is the VCS commit ("" unless stamped; falls back to the
+	// embedded build info at read time).
+	Commit = ""
+)
+
+// CommitOrEmbedded returns the stamped commit, or the vcs.revision the
+// toolchain embedded, or "unknown".
+func CommitOrEmbedded() string {
+	if Commit != "" {
+		return Commit
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// String renders the one-line identity the -version flag prints.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (commit %s)", binary, Version, CommitOrEmbedded())
+}

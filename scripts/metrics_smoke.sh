@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Smoke test for the telemetry plane: a sharded deployment (one
+# gpnm-shard worker + gpnm-serve -shards) built with an ldflags-stamped
+# version, driven through one update batch, then scraped — /v1/metrics
+# must expose the RPC and batch-phase families with counters advancing,
+# /v1/trace the per-batch phase spans, the worker its own /metrics view,
+# /v1/patterns/{id}/stats the per-query counters, /v1/healthz the build
+# identity and last-batch timings, and the pprof listener must answer.
+# Needs only curl + grep; CI runs it after the unit suite
+# (`make metrics-smoke` locally).
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18090}"
+WORKER_PORT="${SMOKE_WORKER_PORT:-18091}"
+PPROF_PORT="${SMOKE_PPROF_PORT:-18092}"
+BASE="http://127.0.0.1:${PORT}"
+WORKER="http://127.0.0.1:${WORKER_PORT}"
+DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" "${WORKER_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# Same tiny graph as serve_smoke.sh: 0:PM -> 1:SE, 0:PM -> 2:PM; the
+# update batch connects PM 2 to the SE.
+cat > "$DIR/g.txt" <<'EOF'
+0	1
+0	2
+EOF
+cat > "$DIR/g.labels" <<'EOF'
+0 PM
+1 SE
+2 PM
+EOF
+
+VERSION="smoke-1.2.3"
+COMMIT="cafe123"
+LDFLAGS="-X uagpnm/internal/version.Version=${VERSION} -X uagpnm/internal/version.Commit=${COMMIT}"
+go build -ldflags "$LDFLAGS" -o "$DIR/gpnm-serve" ./cmd/gpnm-serve
+go build -ldflags "$LDFLAGS" -o "$DIR/gpnm-shard" ./cmd/gpnm-shard
+
+# The ldflags stamp must surface in -version on both binaries.
+"$DIR/gpnm-serve" -version | grep -q "$VERSION" || { echo "metrics-smoke: gpnm-serve -version missing stamp" >&2; exit 1; }
+"$DIR/gpnm-shard" -version | grep -q "$COMMIT" || { echo "metrics-smoke: gpnm-shard -version missing commit" >&2; exit 1; }
+
+"$DIR/gpnm-shard" -addr "127.0.0.1:${WORKER_PORT}" &
+WORKER_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$WORKER/healthz" > /dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+"$DIR/gpnm-serve" -addr "127.0.0.1:${PORT}" -graph "$DIR/g.txt" -labels "$DIR/g.labels" \
+  -horizon 3 -shards "127.0.0.1:${WORKER_PORT}" -pprof "127.0.0.1:${PPROF_PORT}" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/v1/healthz" > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "metrics-smoke: server died before becoming healthy" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# Build identity + uptime in /v1/healthz before any batch.
+HEALTH=$(curl -sf "$BASE/v1/healthz")
+echo "healthz: $HEALTH"
+echo "$HEALTH" | grep -q "\"version\":\"${VERSION}\"" || { echo "metrics-smoke: healthz missing version" >&2; exit 1; }
+echo "$HEALTH" | grep -q "\"commit\":\"${COMMIT}\"" || { echo "metrics-smoke: healthz missing commit" >&2; exit 1; }
+echo "$HEALTH" | grep -q '"uptime_seconds":' || { echo "metrics-smoke: healthz missing uptime" >&2; exit 1; }
+
+# Baseline scrape: the registry parses as Prometheus text and already
+# carries the RPC client histograms (the /build fan to the worker).
+M0=$(curl -sf "$BASE/v1/metrics")
+echo "$M0" | grep -q '# TYPE gpnm_rpc_seconds histogram' || { echo "metrics-smoke: no RPC histogram family" >&2; exit 1; }
+BATCHES0=$(echo "$M0" | grep -c '^gpnm_hub_batches_total 1$' || true)
+
+# Register a standing query and push one update batch through.
+REG=$(curl -sf -X POST "$BASE/v1/patterns" \
+  -d '{"pattern":"node pm PM\nnode se SE\nedge pm se 2\n"}')
+ID=$(echo "$REG" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$ID" ] || { echo "metrics-smoke: no pattern id in $REG" >&2; exit 1; }
+DELTA=$(curl -sf -X POST "$BASE/v1/apply" -d '{"updates":[{"op":"+e","from":2,"to":1}]}')
+echo "$DELTA" | grep -q '"added":\[2\]' || { echo "metrics-smoke: apply missed the new match" >&2; exit 1; }
+
+# After the batch: hub counters advanced, phase histograms populated.
+M1=$(curl -sf "$BASE/v1/metrics")
+echo "$M1" | grep -q '^gpnm_hub_batches_total 1$' || { echo "metrics-smoke: gpnm_hub_batches_total did not advance" >&2; exit 1; }
+[ "$BATCHES0" -eq 0 ] || { echo "metrics-smoke: batch counter advanced before any batch" >&2; exit 1; }
+echo "$M1" | grep -q '# TYPE gpnm_batch_phase_seconds histogram' || { echo "metrics-smoke: no batch-phase family" >&2; exit 1; }
+echo "$M1" | grep -q 'gpnm_batch_phase_seconds_count{phase="slen_sync"} 1' || { echo "metrics-smoke: slen_sync phase not observed" >&2; exit 1; }
+echo "$M1" | grep -q 'gpnm_rpc_seconds_count{endpoint="/ops"}' || { echo "metrics-smoke: no /ops RPC latency" >&2; exit 1; }
+echo "$M1" | grep -q '^gpnm_hub_seq 1$' || { echo "metrics-smoke: hub seq gauge wrong" >&2; exit 1; }
+
+# The per-batch trace carries the phase spans.
+TRACE=$(curl -sf "$BASE/v1/trace?n=1")
+echo "trace: $TRACE"
+echo "$TRACE" | grep -q '"seq":1' || { echo "metrics-smoke: trace missing seq" >&2; exit 1; }
+echo "$TRACE" | grep -q '"name":"slen_sync"' || { echo "metrics-smoke: trace missing slen_sync span" >&2; exit 1; }
+echo "$TRACE" | grep -q '"name":"amend_fan"' || { echo "metrics-smoke: trace missing amend_fan span" >&2; exit 1; }
+
+# Per-pattern stats endpoint.
+STATS=$(curl -sf "$BASE/v1/patterns/$ID/stats")
+echo "stats: $STATS"
+echo "$STATS" | grep -q '"data_updates":1' || { echo "metrics-smoke: pattern stats wrong: $STATS" >&2; exit 1; }
+
+# Last-batch timings now ride along in healthz.
+curl -sf "$BASE/v1/healthz" | grep -q '"last_batch":{"seq":1' || { echo "metrics-smoke: healthz missing last_batch" >&2; exit 1; }
+
+# The worker exposes its own server-side view of the same traffic.
+WM=$(curl -sf "$WORKER/metrics")
+echo "$WM" | grep -q 'gpnm_worker_requests_total{endpoint="/ops"} 1' || { echo "metrics-smoke: worker /ops counter wrong" >&2; exit 1; }
+echo "$WM" | grep -q '# TYPE gpnm_worker_request_seconds histogram' || { echo "metrics-smoke: no worker latency family" >&2; exit 1; }
+echo "$WM" | grep -q '^gpnm_worker_ops_total ' || { echo "metrics-smoke: worker op counter missing" >&2; exit 1; }
+
+# The opt-in pprof listener answers on its own port.
+curl -sf "http://127.0.0.1:${PPROF_PORT}/debug/pprof/cmdline" > /dev/null || { echo "metrics-smoke: pprof listener dead" >&2; exit 1; }
+
+echo "metrics-smoke: OK"

@@ -45,6 +45,7 @@ import (
 	"uagpnm/internal/graph"
 	"uagpnm/internal/hub"
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/obs"
 	"uagpnm/internal/patgen"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
@@ -361,6 +362,29 @@ type HubBatchStats = hub.BatchStats
 // registered.
 var ErrUnknownPattern = hub.ErrUnknownPattern
 
+// Telemetry — the observability plane of internal/obs, re-exported so
+// embedders can read (and the bench harness isolate) the metrics a hub
+// or sharded substrate reports. See README.md's Observability section.
+
+// MetricsRegistry is a zero-dependency metrics registry: atomic
+// counters, gauges, fixed-bucket latency histograms, and a bounded ring
+// of per-batch phase traces. Serve one over HTTP (it implements
+// http.Handler with the Prometheus text exposition) or read it
+// programmatically.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry, for callers that want a
+// hub's telemetry isolated from the process-global default.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// BatchTrace is the phase breakdown of one hub batch: every
+// instrumented span the batch crossed (substrate phases, recovery
+// spans, hub phases), in completion order.
+type BatchTrace = obs.Trace
+
+// TraceSpan is one timed phase inside a BatchTrace.
+type TraceSpan = obs.Span
+
 // HubOptions configures a Hub.
 type HubOptions struct {
 	// Method selects the shared substrate (default UAGPNM, the
@@ -404,6 +428,12 @@ type HubOptions struct {
 	// results (the index may over-approximate, never under-approximate);
 	// the switch exists for measurement and as an escape hatch.
 	DisableIndex bool
+	// Metrics, when non-nil, receives the hub's telemetry (batch phase
+	// histograms, per-batch traces, shard RPC latencies) instead of the
+	// process-global registry. Leave nil unless the telemetry must be
+	// isolated — e.g. several hubs in one process, or a benchmark
+	// attributing phases to one run.
+	Metrics *MetricsRegistry
 }
 
 // Hub hosts many registered patterns as standing queries over one data
@@ -437,6 +467,7 @@ func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
 		FailoverRetries: opts.FailoverRetries,
 		History:         opts.History,
 		DisableIndex:    opts.DisableIndex,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -533,6 +564,16 @@ func (h *Hub) Status() (recovering bool, recovered uint64) { return h.inner.Stat
 // Stats reports the per-pattern pass statistics of id's last amendment.
 func (h *Hub) Stats(id PatternID) (core.QueryStats, bool) { return h.inner.PatternStats(id) }
 
+// Metrics returns the hub's telemetry registry (HubOptions.Metrics, or
+// the process-global default): phase histograms, wake counters, and —
+// for sharded substrates — per-endpoint RPC latency and byte counters.
+func (h *Hub) Metrics() *MetricsRegistry { return h.inner.Metrics() }
+
+// LastTrace returns the phase trace of the most recent batch (ok=false
+// before the first batch): one TraceSpan per instrumented phase the
+// batch crossed, in completion order.
+func (h *Hub) LastTrace() (BatchTrace, bool) { return h.inner.Metrics().LastTrace() }
+
 // WaitDeltas long-polls standing query id for deltas with Seq > since:
 // it blocks until one exists (returning all retained ones in order),
 // ctx expires, or the pattern is unregistered. resync = true means the
@@ -616,6 +657,24 @@ func (c *Client) Snapshot(ctx context.Context, id PatternID) (*Pattern, *Match, 
 // query is unregistered.
 func (c *Client) WaitDeltas(ctx context.Context, id PatternID, since uint64) (ds []HubDelta, resync bool, err error) {
 	return c.inner.WaitDeltas(ctx, id, since)
+}
+
+// Stats returns the per-pattern pass statistics of standing query id's
+// last amendment on the remote hub (GET /v1/patterns/{id}/stats).
+func (c *Client) Stats(ctx context.Context, id PatternID) (core.QueryStats, error) {
+	return c.inner.Stats(ctx, id)
+}
+
+// LastTrace returns the phase trace of the remote hub's most recent
+// batch (GET /v1/trace; ok=false before the first batch).
+func (c *Client) LastTrace(ctx context.Context) (BatchTrace, bool, error) {
+	return c.inner.LastTrace(ctx)
+}
+
+// Traces returns the remote hub's retained per-batch phase traces,
+// oldest first; n > 0 caps the result to the most recent n.
+func (c *Client) Traces(ctx context.Context, n int) ([]BatchTrace, error) {
+	return c.inner.Traces(ctx, n)
 }
 
 // Close releases the client's idle connections; the server and its
