@@ -334,6 +334,11 @@ type BatchStatsBody struct {
 	Woken         int  `json:"woken"`
 	Skipped       int  `json:"skipped"`
 	IndexBypassed bool `json:"index_bypassed,omitempty"`
+	// Sharded read-plane traffic of this batch (all zero in-process):
+	// RPCs issued, rows bulk-installed, rows fetched one at a time.
+	RPCCalls       uint64 `json:"rpc_calls,omitempty"`
+	RowsPrefetched uint64 `json:"rows_prefetched,omitempty"`
+	RowsMissed     uint64 `json:"rows_missed,omitempty"`
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -352,23 +357,29 @@ func EncodeBatchStats(st hub.BatchStats) BatchStatsBody {
 		Woken:          st.Woken,
 		Skipped:        st.Skipped,
 		IndexBypassed:  st.IndexBypassed,
+		RPCCalls:       st.RPCCalls,
+		RowsPrefetched: st.RowsPrefetched,
+		RowsMissed:     st.RowsMissed,
 	}
 }
 
 // Decode converts the wire stats back to hub.BatchStats.
 func (b BatchStatsBody) Decode() hub.BatchStats {
 	return hub.BatchStats{
-		Seq:           b.Seq,
-		DataUpdates:   b.DataUpdates,
-		Patterns:      b.Patterns,
-		SLenSync:      time.Duration(b.SLenSyncMillis * float64(time.Millisecond)),
-		SLenSyncs:     b.SLenSyncs,
-		FanOut:        time.Duration(b.FanOutMillis * float64(time.Millisecond)),
-		Duration:      time.Duration(b.DurationMillis * float64(time.Millisecond)),
-		Recovered:     b.Recovered,
-		Woken:         b.Woken,
-		Skipped:       b.Skipped,
-		IndexBypassed: b.IndexBypassed,
+		Seq:            b.Seq,
+		DataUpdates:    b.DataUpdates,
+		Patterns:       b.Patterns,
+		SLenSync:       time.Duration(b.SLenSyncMillis * float64(time.Millisecond)),
+		SLenSyncs:      b.SLenSyncs,
+		FanOut:         time.Duration(b.FanOutMillis * float64(time.Millisecond)),
+		Duration:       time.Duration(b.DurationMillis * float64(time.Millisecond)),
+		Recovered:      b.Recovered,
+		Woken:          b.Woken,
+		Skipped:        b.Skipped,
+		IndexBypassed:  b.IndexBypassed,
+		RPCCalls:       b.RPCCalls,
+		RowsPrefetched: b.RowsPrefetched,
+		RowsMissed:     b.RowsMissed,
 	}
 }
 

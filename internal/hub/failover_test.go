@@ -184,6 +184,13 @@ func TestHubFailoverOnRegisterRead(t *testing.T) {
 	healthy := newKillableHubWorker(t)
 	victim := newKillableHubWorker(t)
 	g := lineGraph()
+	// Node 3: an isolated B. It is no bridge and no update ever touches
+	// it, so neither the build's bridge-row plan nor any batch's warm
+	// piggyback fetches its rows — the one guaranteed-cold row on the
+	// victim's partition, which the Register below must then fetch from
+	// the corpse (a register served purely from warm caches never
+	// notices one — correctly so).
+	g.AddNode("B")  // 3
 	g.AddEdge(1, 2) // the B node reaches an A, so a B→A pattern matches it
 	h, err := New(g, Config{Horizon: 3, Workers: 2,
 		Shards: []string{healthy.ts.URL, victim.ts.URL}})
@@ -191,22 +198,18 @@ func TestHubFailoverOnRegisterRead(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer h.Close()
-	// A node-insert-only batch first: its op flush drops every cached
-	// row on the RPC clients, and — no overlay anchors being dirtied —
-	// nothing re-warms them afterwards, so the Register below must
-	// fetch rows from the workers (a register served purely from warm
-	// caches never notices a corpse — correctly so).
 	if _, _, err := h.ApplyBatch(Batch{D: []updates.Update{
-		{Kind: updates.DataNodeInsert, Node: 3, Labels: []string{"B"}},
+		{Kind: updates.DataNodeInsert, Node: 4, Labels: []string{"B"}},
 	}}); err != nil {
 		t.Fatalf("healthy batch: %v", err)
 	}
 
 	victim.dead.Store(true) // dies idle, with no batch in flight
 
-	// A B-within-1-of-A pattern needs the B nodes' forward rows — intra
-	// state of the victim's partition, uncached since the flush — so
-	// the initial query must fetch from the corpse and recover.
+	// A B-within-1-of-A pattern needs every B node's forward row —
+	// including isolated node 3's, intra state of the victim's partition
+	// that no plan ever warmed — so the initial query must fetch from
+	// the corpse and recover.
 	ba := pattern.New(h.Graph().Labels())
 	b0 := ba.AddNode("B")
 	a0 := ba.AddNode("A")

@@ -175,6 +175,15 @@ type BatchStats struct {
 	// Patterns says nothing about selectivity. Logged per batch so an
 	// adaptive policy can learn when discrimination stops paying.
 	IndexBypassed bool
+	// RPCCalls / RowsPrefetched / RowsMissed summarise this batch's use
+	// of the sharded read plane (deltas of the registry's cumulative
+	// counters across ApplyBatch): coordinator→worker RPCs issued, rows
+	// installed client-side by the bulk paths (/rows + the /ops warm
+	// piggyback), and rows that fell through to singleton /row fetches.
+	// All zero when the substrate is in-process.
+	RPCCalls       uint64
+	RowsPrefetched uint64
+	RowsMissed     uint64
 }
 
 // ErrUnknownPattern reports an id that is not (or no longer) registered.
@@ -369,6 +378,19 @@ func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 	}
 	id := h.next
 	h.next++
+	// The initial simulation queries the balls of every label candidate
+	// of the pattern; on a sharded substrate, plan that row demand into
+	// one bulk RPC per worker up front so the fixpoint below runs
+	// against a warm row cache instead of a per-row round trip per miss.
+	if pe, ok := h.eng.(*partition.Engine); ok && pe.Remote() {
+		var cand nodeset.Builder
+		p.Nodes(func(u pattern.NodeID) {
+			for _, v := range h.g.NodesWithLabel(p.Label(u)) {
+				cand.Add(v)
+			}
+		})
+		pe.PrefetchBallRows(cand.Set()) // self-repairing; terminal loss unwinds to Register's recover
+	}
 	var m *simulation.Match
 	h.readFailover(func() { m = simulation.Run(p, h.g, h.eng) })
 	r := &registration{
@@ -629,6 +651,23 @@ func (h *Hub) PatternStatsErr(id PatternID) (core.QueryStats, error) {
 // it also holds the per-batch phase traces behind /v1/trace.
 func (h *Hub) Metrics() *obs.Registry { return h.obs }
 
+// rpcPlane is one snapshot of the registry's cumulative sharded-read
+// counters; ApplyBatch takes one before and one after to report the
+// batch's own RPC traffic in BatchStats.
+type rpcPlane struct {
+	calls, prefetched, missed uint64
+}
+
+func (h *Hub) rpcPlaneSnapshot() rpcPlane {
+	var p rpcPlane
+	for _, n := range h.obs.HistogramCounts("gpnm_rpc_seconds") {
+		p.calls += n
+	}
+	p.prefetched = h.obs.Counter("gpnm_rpc_rows_prefetched_total").Value()
+	p.missed = h.obs.Counter("gpnm_rpc_rows_missed_total").Value()
+	return p
+}
+
 // span records one hub-side batch phase into the same histogram family
 // the substrate's phases land in, and into the batch's trace.
 func (h *Hub) span(tr *obs.Trace, name string, start time.Time) {
@@ -670,6 +709,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	defer partition.RecoverSubstrateLoss(&err)
 	start := time.Now()
 	_, recovered0 := h.Status()
+	rpc0 := h.rpcPlaneSnapshot()
 	h.obs.Counter("gpnm_hub_batches_total").Inc()
 
 	// One trace per batch: hub phases append to it directly, and the
@@ -858,6 +898,33 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	// idempotent, so a shard worker lost mid-amendment is repaired by
 	// read failover and the fan simply re-runs against the same
 	// pre-commit state.
+	// Row-demand plan for the fan: the amendment passes below read the
+	// balls of the batch's affected nodes, and their removal cascades
+	// recheck the woken patterns' label candidates. On a sharded
+	// substrate, fetch those source rows in one bulk RPC per worker now
+	// (timed as row_plan) so the fan's stitched ball builds resolve from
+	// the warm client row cache. The candidate demand is mostly cached
+	// already — the bulk client refetches only rows the batch's
+	// partition-scoped invalidation dropped — and whatever the cascade
+	// reaches beyond the plan still misses to singleton /row fetches.
+	if len(wokenIdx) > 0 {
+		if pe, ok := h.eng.(*partition.Engine); ok && pe.Remote() {
+			var demand nodeset.Builder
+			for _, s := range affSets {
+				demand.AddAll(s)
+			}
+			for _, k := range wokenIdx {
+				p := regs[k].p
+				p.Nodes(func(u pattern.NodeID) {
+					for _, v := range h.g.NodesWithLabel(p.Label(u)) {
+						demand.Add(v)
+					}
+				})
+			}
+			pe.PrefetchBallRows(demand.Set()) // spans itself as row_plan via the trace sink
+		}
+	}
+
 	fanStart := time.Now()
 	type patternPass struct {
 		p     *pattern.Graph
@@ -915,18 +982,22 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		r.appendDelta(deltas[i], h.cfg.History)
 	}
 	_, recovered1 := h.Status()
+	rpc1 := h.rpcPlaneSnapshot()
 	h.last = BatchStats{
-		Seq:           seq,
-		DataUpdates:   len(b.D),
-		Patterns:      len(regs),
-		SLenSync:      slen,
-		SLenSyncs:     len(b.D),
-		FanOut:        time.Since(fanStart),
-		Duration:      time.Since(start),
-		Recovered:     int(recovered1 - recovered0),
-		Woken:         len(wokenIdx),
-		Skipped:       len(regs) - len(wokenIdx),
-		IndexBypassed: bypassed,
+		Seq:            seq,
+		DataUpdates:    len(b.D),
+		Patterns:       len(regs),
+		SLenSync:       slen,
+		SLenSyncs:      len(b.D),
+		FanOut:         time.Since(fanStart),
+		Duration:       time.Since(start),
+		Recovered:      int(recovered1 - recovered0),
+		Woken:          len(wokenIdx),
+		Skipped:        len(regs) - len(wokenIdx),
+		IndexBypassed:  bypassed,
+		RPCCalls:       rpc1.calls - rpc0.calls,
+		RowsPrefetched: rpc1.prefetched - rpc0.prefetched,
+		RowsMissed:     rpc1.missed - rpc0.missed,
 	}
 	h.obs.Counter("gpnm_hub_woken_total").Add(uint64(h.last.Woken))
 	h.obs.Counter("gpnm_hub_skipped_total").Add(uint64(h.last.Skipped))

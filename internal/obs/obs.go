@@ -274,6 +274,22 @@ func (r *Registry) HistogramSums(name string) map[string]float64 {
 	return out
 }
 
+// HistogramCounts is HistogramSums' companion for observation counts:
+// per-label-value Count() of a single-label histogram family. The bench
+// harness and the RPC-count regression tests read per-endpoint call
+// counts out of gpnm_rpc_seconds through this.
+func (r *Registry) HistogramCounts(name string) map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64)
+	for _, m := range r.metrics {
+		if m.name == name && m.kind == kindHistogram && len(m.labels) == 2 {
+			out[m.labels[1]] = m.h.Count()
+		}
+	}
+	return out
+}
+
 // RecordTrace appends one completed batch trace to the bounded ring.
 func (r *Registry) RecordTrace(t Trace) {
 	r.traceMu.Lock()

@@ -166,9 +166,18 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 	changeLog = log.Set()
 	e.span("post_balls", phaseStart)
 
-	// Warm the rows the amendment will query.
-	phaseStart = time.Now()
-	e.withFailover(nil, func() { e.prefetchRows(changeLog) })
-	e.span("row_prefetch", phaseStart)
+	// Warm the stitched rows the amendment will query. Remote fleets
+	// skip this: their shard-row demand is planned by the caller right
+	// before the read fan (hub.ApplyBatch's PrefetchBallRows covers the
+	// change log and more), so assembling stitched rows here would
+	// duplicate that plan's coverage — the batch's only standalone bulk
+	// read stays the fan plan, one /rows RPC per shard. The /ops flush
+	// above already piggybacked the bridge and op-endpoint rows the
+	// phases inside this batch read.
+	if !e.remote {
+		phaseStart = time.Now()
+		e.withFailover(nil, func() { e.prefetchRows(changeLog) })
+		e.span("row_prefetch", phaseStart)
+	}
 	return perUpdate, changeLog, nil
 }

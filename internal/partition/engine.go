@@ -535,8 +535,28 @@ func (e *Engine) Build() {
 			}
 		}
 	})
+	e.planOverlayRows()
 	e.withFailover(nil, func() { e.ov.build(e.workers) })
 	e.invalidate()
+}
+
+// planOverlayRows bulk-prefetches every partition's bridge rows ahead
+// of a full overlay (re)build — the Dijkstra fan reads exactly those
+// rows, so without the plan each one would cost a singleton /row RPC.
+// The plan runs inside its own failover boundary (and re-derives the
+// demand per attempt: recovery reassigns partitions) and records a
+// row_plan span so the prefetch cost is visible next to the phases it
+// feeds. In-process fleets skip it without a span — there is no RPC to
+// batch.
+func (e *Engine) planOverlayRows() {
+	if !e.remote {
+		return
+	}
+	start := time.Now()
+	e.withFailover(nil, func() {
+		e.prefetchPlannedRows(e.bridgeRowReqs(e.allPartIndices()))
+	})
+	e.span("row_plan", start)
 }
 
 // Close releases the shards and any unpromoted spares (remote: closes
@@ -779,10 +799,15 @@ func (e *Engine) buildRow(x uint32, reverse bool) []ballEntry {
 // every member — so pre-warming converts its serial on-demand row
 // builds into one parallel sweep. Forward rows stay lazy: only the
 // change-log nodes that are also label candidates get forward queries,
-// so warming them would be speculative work.
+// so warming them would be speculative work. In-process only — remote
+// fleets keep even the reverse rows lazy and instead bulk-plan their
+// shard-row inputs (PrefetchBallRows), so the lazy builds are RPC-free.
 func (e *Engine) prefetchRows(ids nodeset.Set) {
+	if len(ids) == 0 {
+		return
+	}
 	if e.workers <= 1 || len(ids) < 2 {
-		return // lazy path: serial engines build rows on demand, as before
+		return // lazy path: serial engines build rows on demand
 	}
 	live := make([]uint32, 0, len(ids))
 	for _, x := range ids {
@@ -999,7 +1024,7 @@ func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 				e.settleOp(op, l.ApplyOp(op), dirty)
 				continue
 			}
-			aff, err := e.shards[op.Shard].ApplyOps(0, []shard.Op{op})
+			aff, err := e.shards[op.Shard].ApplyOps(0, []shard.Op{op}, nil)
 			if err != nil {
 				e.shardFail(op.Shard, err)
 			}
@@ -1017,12 +1042,19 @@ func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 // safe; ops whose owning slot is dead settle nothing — the recovery
 // compensates by dirtying the reassigned partitions' bridge anchors
 // conservatively.
+//
+// Each flush piggybacks its warm row demand — the bridge rows the
+// overlay reconciliation right after it will read — on the same RPC,
+// so the flush response refills exactly the rows the flush invalidated.
+// The demand is planned here, inside the failover boundary: a retry
+// after recovery re-plans against the repaired shard assignment.
 func (e *Engine) flushOps(epoch uint64, ops []shard.Op, dirty *nodeset.Builder) {
 	affs := make([][][]uint32, len(e.shards))
+	warm := e.opsRowDemand(ops)
 	alive := e.aliveIndices()
 	parallelFor(len(alive), len(alive), func(k int) {
 		s := alive[k]
-		aff, err := e.shards[s].ApplyOps(epoch, ops)
+		aff, err := e.shards[s].ApplyOps(epoch, ops, warm[s])
 		if err != nil {
 			e.shardFail(s, err)
 		}
@@ -1190,6 +1222,7 @@ func (e *Engine) EnsureHorizon(k int) {
 			}
 		}
 	})
+	e.planOverlayRows()
 	e.withFailover(nil, func() { e.ov.build(e.workers) })
 	e.invalidate()
 }
@@ -1261,10 +1294,14 @@ func (e *Engine) CloneFor(g2 *graph.Graph) shortest.DistanceEngine {
 }
 
 // remoteAffected computes the batch's conservative affected balls on
-// the remote shards' data-graph replicas, slicing requests round-robin
-// across the shard fleet (each slice is one RPC, processed in parallel
-// worker-side). phase4 selects the insertion (post-state) pass;
-// otherwise the deletion (pre-state) pass runs.
+// the remote shards' data-graph replicas. It follows the same bulk
+// contract as the row plane: the whole phase issues exactly ONE
+// /affected RPC per alive shard (requests sliced round-robin across the
+// fleet), the per-shard calls run concurrently on the coordinator, and
+// each worker fans its slice across its own pool — so phase latency is
+// one round trip plus the slowest slice, never a per-update loop.
+// phase4 selects the insertion (post-state) pass; otherwise the
+// deletion (pre-state) pass runs.
 func (e *Engine) remoteAffected(ds []updates.Update, g *graph.Graph, phase4 bool, applied []bool, perUpdate []nodeset.Set) {
 	var reqs []shard.AffectedReq
 	var idx []int

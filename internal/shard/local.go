@@ -131,6 +131,24 @@ func (l *Local) Ball(part int, src uint32, maxD int, reverse bool, fn func(local
 	return nil
 }
 
+// Rows answers many full-horizon intra rows in one call. In-process
+// there is nothing to batch — each row is one engine scan — so this is
+// the plain loop over Ball; it exists so the coordinator's row-demand
+// planner runs identically against both shard kinds.
+func (l *Local) Rows(reqs []RowReq) ([]Row, error) {
+	maxD := capHops(l.cfg.Horizon)
+	out := make([]Row, len(reqs))
+	for i, rq := range reqs {
+		r := &out[i]
+		_ = l.Ball(rq.Part, rq.Src, maxD, rq.Reverse, func(v uint32, d shortest.Dist) bool {
+			r.Nodes = append(r.Nodes, v)
+			r.Dists = append(r.Dists, d)
+			return true
+		})
+	}
+	return out, nil
+}
+
 // ApplyOp synchronises the owning engine after one structural mutation
 // (the shared subgraph already reflects it) and returns the local
 // affected set — the allocation-free fast path the coordinator's
@@ -169,8 +187,9 @@ func (l *Local) ApplyOp(op Op) []uint32 {
 // ApplyOps is the batch form of ApplyOp (the Shard interface surface).
 // The epoch fence is meaningless in-process — the coordinator's own
 // structures are the replica, and a Local shard can never half-apply a
-// flush — so it is ignored.
-func (l *Local) ApplyOps(_ uint64, ops []Op) ([][]uint32, error) {
+// flush — so it is ignored, as is the warm row demand (there is no
+// client row cache to warm; the coordinator reads the engines directly).
+func (l *Local) ApplyOps(_ uint64, ops []Op, _ []RowReq) ([][]uint32, error) {
 	aff := make([][]uint32, len(ops))
 	for i, op := range ops {
 		aff[i] = l.ApplyOp(op)

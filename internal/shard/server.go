@@ -91,13 +91,15 @@ func (s *Server) subOf(part int) *graph.Graph { return s.subs[part] }
 //	POST /rebuild   build additional partitions on top of existing state
 //	POST /horizon   widen every intra engine to a new hop cap
 //	POST /row       one full-horizon intra row (part, src, reverse)
-//	POST /ops       apply one ordered, epoch-fenced op batch
+//	POST /rows      many full-horizon intra rows in one call (bulk)
+//	POST /ops       apply one ordered, epoch-fenced op batch; answers
+//	                piggybacked warm rows from the post-apply state
 //	POST /affected  conservative balls against the data-graph replica
 //	GET  /metrics   worker-side telemetry, Prometheus text exposition
 //
 // There is no point-distance endpoint: the client answers Dist (and
-// every ball) from the cached full-horizon /row, which the engine's
-// query patterns re-read many times per epoch anyway.
+// every ball) from the cached full-horizon /row or /rows, which the
+// engine's query patterns re-read many times per epoch anyway.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
@@ -105,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rebuild", s.instrument("/rebuild", s.handleRebuild))
 	mux.HandleFunc("POST /horizon", s.instrument("/horizon", s.handleHorizon))
 	mux.HandleFunc("POST /row", s.instrument("/row", s.handleRow))
+	mux.HandleFunc("POST /rows", s.instrument("/rows", s.handleRows))
 	mux.HandleFunc("POST /ops", s.instrument("/ops", s.handleOps))
 	mux.HandleFunc("POST /affected", s.instrument("/affected", s.handleAffected))
 	mux.Handle("GET /metrics", s.obs)
@@ -232,16 +235,75 @@ func (s *Server) handleRow(w http.ResponseWriter, r *http.Request) {
 	srvutil.WriteJSON(w, http.StatusOK, resp)
 }
 
+// bulkRow is one full-horizon intra row inside a bulk answer. Ok
+// distinguishes "row computed" from "partition not owned here": the
+// client must never install a not-owned answer as an (empty) row, or a
+// routing race during failover would poison its cache.
+type bulkRow struct {
+	Ok    bool            `json:"ok"`
+	Nodes []uint32        `json:"nodes,omitempty"`
+	Dists []shortest.Dist `json:"dists,omitempty"`
+}
+
+// rowsResponse carries one bulkRow per request, aligned by index.
+type rowsResponse struct {
+	Rows []bulkRow `json:"rows"`
+}
+
+// bulkRows answers many row requests against the current engine state,
+// fanned across the worker pool (rows of distinct sources share
+// nothing). Callers hold at least the read lock.
+func (s *Server) bulkRows(reqs []RowReq) []bulkRow {
+	out := make([]bulkRow, len(reqs))
+	maxD := capHops(s.cfg.Horizon)
+	workpool.ForEach(s.cfg.Workers, len(reqs), func(i int) {
+		rq := reqs[i]
+		if !s.local.Owns(rq.Part) {
+			return
+		}
+		r := &out[i]
+		r.Ok = true
+		_ = s.local.Ball(rq.Part, rq.Src, maxD, rq.Reverse,
+			func(v uint32, d shortest.Dist) bool {
+				r.Nodes = append(r.Nodes, v)
+				r.Dists = append(r.Dists, d)
+				return true
+			})
+	})
+	s.obs.Counter("gpnm_worker_rows_total").Add(uint64(len(reqs)))
+	return out
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Reqs []RowReq `json:"reqs"`
+	}
+	if !srvutil.Decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.replica == nil {
+		srvutil.WriteError(w, http.StatusConflict, "worker not built")
+		return
+	}
+	srvutil.WriteJSON(w, http.StatusOK, rowsResponse{Rows: s.bulkRows(req.Reqs)})
+}
+
 // opsResponse carries, aligned by op index, the local affected set of
-// every op this worker owns (null otherwise).
+// every op this worker owns (null otherwise), plus the piggybacked warm
+// rows (aligned with the request's warm list) computed from the
+// post-apply state.
 type opsResponse struct {
-	Aff [][]uint32 `json:"aff"`
+	Aff  [][]uint32 `json:"aff"`
+	Rows []bulkRow  `json:"rows,omitempty"`
 }
 
 func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Epoch uint64 `json:"epoch"`
-		Ops   []Op   `json:"ops"`
+		Epoch uint64   `json:"epoch"`
+		Ops   []Op     `json:"ops"`
+		Warm  []RowReq `json:"warm"`
 	}
 	if !srvutil.Decode(w, r, &req) {
 		return
@@ -252,6 +314,16 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		srvutil.WriteError(w, http.StatusConflict, "worker not built")
 		return
 	}
+	// Warm rows are recomputed fresh on every delivery — including fence
+	// replays — because they describe post-apply engine state, which is
+	// identical whether the ops applied now or on the lost first try.
+	// Only Aff is part of the fence record.
+	respond := func(resp opsResponse) {
+		if len(req.Warm) > 0 {
+			resp.Rows = s.bulkRows(req.Warm)
+		}
+		srvutil.WriteJSON(w, http.StatusOK, resp)
+	}
 	// Epoch fence (0 = unfenced legacy stream). A flush at the fenced
 	// epoch was already absorbed — through an earlier delivery whose
 	// response was lost, or through a fenced build whose snapshots
@@ -261,10 +333,10 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	if req.Epoch != 0 {
 		if req.Epoch == s.lastEpoch {
 			if s.lastResp != nil && len(s.lastResp.Aff) == len(req.Ops) {
-				srvutil.WriteJSON(w, http.StatusOK, *s.lastResp)
+				respond(*s.lastResp)
 				return
 			}
-			srvutil.WriteJSON(w, http.StatusOK, opsResponse{Aff: make([][]uint32, len(req.Ops))})
+			respond(opsResponse{Aff: make([][]uint32, len(req.Ops))})
 			return
 		}
 		if req.Epoch < s.lastEpoch {
@@ -283,10 +355,10 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		resp.Aff[i] = aff
 	}
 	if req.Epoch != 0 {
-		s.lastEpoch, s.lastResp = req.Epoch, &resp
+		s.lastEpoch, s.lastResp = req.Epoch, &opsResponse{Aff: resp.Aff}
 	}
 	s.obs.Counter("gpnm_worker_ops_total").Add(uint64(len(req.Ops)))
-	srvutil.WriteJSON(w, http.StatusOK, resp)
+	respond(resp)
 }
 
 // applyOp advances the data-graph replica by the op's global-id view

@@ -170,6 +170,24 @@ type AffectedReq struct {
 	Node uint32 `json:"n,omitempty"`
 }
 
+// RowReq names one full-horizon intra row: the (partition, local
+// source, direction) triple the stitched read path keys everything by.
+// The coordinator's row-demand planner batches these so a whole phase's
+// row traffic crosses the wire as one bulk call per shard instead of
+// one RPC per row.
+type RowReq struct {
+	Part    int    `json:"p"`
+	Src     uint32 `json:"s"`
+	Reverse bool   `json:"r,omitempty"`
+}
+
+// Row is one full-horizon intra row, aligned with its RowReq: the
+// ball members in ascending local-id order with their distances.
+type Row struct {
+	Nodes []uint32        `json:"nodes"`
+	Dists []shortest.Dist `json:"dists"`
+}
+
 // Shard is the per-partition half of the §V substrate.
 //
 // Error model: every method that can lose state or transport returns an
@@ -222,6 +240,15 @@ type Shard interface {
 	// for concurrent use between mutations.
 	Ball(part int, src uint32, maxD int, reverse bool, fn func(local uint32, d shortest.Dist) bool) error
 
+	// Rows answers many full-horizon intra rows in one call, aligned
+	// with reqs. Every request must name a partition this shard owns.
+	// The remote implementation fetches all cache-missing rows in one
+	// /rows RPC and keeps them cached like singleton fetches, so the
+	// coordinator's row-demand planner can warm a whole phase's reads
+	// with one round trip per shard. Safe for concurrent use between
+	// mutations, like Ball.
+	Rows(reqs []RowReq) ([]Row, error)
+
 	// ApplyOps applies one ordered batch of mutations (already applied
 	// to the coordinator's structures) and returns, aligned by index,
 	// the partition-local affected set of every op this shard owns
@@ -231,7 +258,15 @@ type Shard interface {
 	// (or empty sets, after a fenced build) instead of re-applying —
 	// which is what makes the failover retry of an in-flight batch
 	// safe against survivors that had applied before the loss.
-	ApplyOps(epoch uint64, ops []Op) ([][]uint32, error)
+	//
+	// warm piggybacks the coordinator's post-flush row demand on the
+	// same round trip: the owned rows named in it are recomputed from
+	// the post-apply state and (remotely) installed in the client's row
+	// cache, so the overlay reconciliation that follows the flush reads
+	// warm rows instead of paying one RPC per bridge node. Rows are
+	// read-only, so the piggyback is idempotent under the epoch fence;
+	// in-process shards ignore it (the coordinator reads them directly).
+	ApplyOps(epoch uint64, ops []Op, warm []RowReq) ([][]uint32, error)
 
 	// Affected computes the conservative affected-ball supersets of
 	// the given updates against the shard's data-graph replica. Only
