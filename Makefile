@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: all vet build test check short race fuzz ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke metrics-smoke
+.PHONY: all vet lint build test check short race fuzz fuzz-ci ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke metrics-smoke
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the project analyzer suite (faultseam,
+# nopanic, metricname, lockguard, defensivecopy — see tools/gpnmlint).
+# gpnmlint lives in a nested module so the root module stays
+# dependency-free.
+lint: vet
+	cd tools/gpnmlint && $(GO) build -o /tmp/gpnmlint .
+	/tmp/gpnmlint -version
+	/tmp/gpnmlint ./...
 
 build:
 	$(GO) build ./...
@@ -14,7 +23,7 @@ test:
 	$(GO) test ./...
 
 # The pre-push gate: static checks + build + the full unit suite.
-check: vet build test
+check: lint build test
 
 # Quick pass: skips the stress variants.
 short:
@@ -27,6 +36,11 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=20s ./internal/graph/
 	$(GO) test -fuzz=FuzzApplyLabels -fuzztime=20s ./internal/graph/
+
+# The CI-sized fuzz pass: same targets, shorter budget.
+fuzz-ci:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph/
+	$(GO) test -fuzz=FuzzApplyLabels -fuzztime=10s ./internal/graph/
 
 # The tier-1 gate: what CI runs.
 ci: vet build race

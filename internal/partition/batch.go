@@ -113,6 +113,7 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 			}
 		case updates.DataNodeInsert:
 			if id := g.AddNode(u.Labels...); id != u.Node {
+				//lint:allow panic node ids are allocated deterministically by the validated batch; a mismatch means corrupted coordinator state, not bad input
 				panic("partition: batch node insert id mismatch")
 			}
 			stage(e.stageInsertNode(u.Node))
@@ -123,6 +124,7 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 				applied[i] = true
 			}
 		default:
+			//lint:allow panic API contract: callers split batches by kind before calling; a pattern update here is a programming error
 			panic("partition: ApplyDataBatch on pattern update " + u.String())
 		}
 	}

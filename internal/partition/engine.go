@@ -204,6 +204,7 @@ func (f *shardFault) Unwrap() error { return f.err }
 // so errors.As still surfaces the *shard.TransportError.
 func (e *Engine) shardFail(idx int, err error) {
 	if e.recoverable.Load() {
+		//lint:allow panic this panic IS the failover seam: withFailover recovers the *shardFault and repairs the fleet
 		panic(&shardFault{idx: idx, err: err})
 	}
 	e.poison(err)
@@ -218,6 +219,7 @@ func (e *Engine) poison(err error) {
 	}
 	err = e.lost
 	e.lostMu.Unlock()
+	//lint:allow panic sticky-loss unwind; boundary methods convert it back to an error via RecoverSubstrateLoss
 	panic(err)
 }
 
@@ -225,6 +227,7 @@ func (e *Engine) poison(err error) {
 // never advance (or answer from) a diverged substrate.
 func (e *Engine) ensureUsable() {
 	if err := e.Err(); err != nil {
+		//lint:allow panic sticky-loss unwind; boundary methods convert it back to an error via RecoverSubstrateLoss
 		panic(err)
 	}
 }
@@ -248,6 +251,7 @@ func RecoverSubstrateLoss(err *error) {
 		*err = e
 		return
 	}
+	//lint:allow panic re-raise of a foreign panic; only substrate-loss panics belong to this recovery seam
 	panic(r)
 }
 
@@ -370,6 +374,7 @@ func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
 	}
 	if remotes > 0 {
 		if remotes != len(e.shards) {
+			//lint:allow panic constructor misuse invariant; a mixed fleet cannot exist after configuration validation
 			panic("partition: mixed in-process and remote shards")
 		}
 		e.remote = true
@@ -378,6 +383,7 @@ func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
 		e.stitched = true
 	}
 	if len(e.spares) > 0 && !e.remote {
+		//lint:allow panic constructor misuse invariant; spare promotion only makes sense for remote fleets
 		panic("partition: spare shards require a remote shard fleet")
 	}
 	e.shardAlive = make([]bool, len(e.shards))
@@ -452,7 +458,8 @@ func (e *Engine) nextAliveShard(hint int) int32 {
 			return int32(s)
 		}
 	}
-	panic("partition: no alive shard to assign") // recovery never leaves zero alive slots behind
+	//lint:allow panic recovery never leaves zero alive slots behind; reaching this is a broken controller invariant
+	panic("partition: no alive shard to assign")
 }
 
 // assignShards extends the partition → shard map round-robin over any
@@ -564,11 +571,13 @@ func (e *Engine) planOverlayRows() {
 func (e *Engine) Close() error {
 	var first error
 	for _, sh := range e.shards {
+		//lint:allow faultseam teardown path: failover is already dismantled, the first close error goes to the caller
 		if err := sh.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	for _, sh := range e.spares {
+		//lint:allow faultseam teardown path: failover is already dismantled, the first close error goes to the caller
 		if err := sh.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -710,6 +719,7 @@ func (e *Engine) entriesTo(y uint32, maxD int, fn func(b uint32, d shortest.Dist
 // WithinHops reports d(x,y) ≤ k (k must be ≤ Horizon when capped).
 func (e *Engine) WithinHops(x, y uint32, k int) bool {
 	if e.horizon != 0 && k > e.horizon {
+		//lint:allow panic API contract: k ≤ Horizon is documented; callers derive k from the same config that set the horizon
 		panic(fmt.Sprintf("partition: WithinHops(%d) beyond horizon %d", k, e.horizon))
 	}
 	d := e.Dist(x, y)

@@ -47,6 +47,7 @@ func (l *Local) Owns(part int) bool {
 
 func (l *Local) eng(part int) *shortest.Engine {
 	if part >= len(l.engs) || l.engs[part] == nil {
+		//lint:allow panic ownership is fixed at Build time; the coordinator routing to a non-owned partition is a programming error
 		panic(fmt.Sprintf("shard: partition %d not owned/built by this local shard", part))
 	}
 	return l.engs[part]
@@ -200,6 +201,7 @@ func (l *Local) ApplyOps(_ uint64, ops []Op, _ []RowReq) ([][]uint32, error) {
 // Affected is never routed to in-process shards: the coordinator holds
 // the data graph and computes conservative balls directly.
 func (l *Local) Affected(reqs []AffectedReq) ([]nodeset.Set, error) {
+	//lint:allow panic never routed in-process: the coordinator holds the data graph and computes balls itself
 	panic("shard: Affected on an in-process shard (coordinator computes balls locally)")
 }
 

@@ -446,6 +446,7 @@ func (s *Server) handleAffected(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := affectedResponse{Sets: make([][]uint32, len(req.Reqs))}
+	//lint:allow lockguard read-locked CPU-only fan: no RPC or channel wait under the RLock; it orders /affected against /build swapping the replica
 	workpool.ForEach(s.cfg.Workers, len(req.Reqs), func(i int) {
 		gb := s.gballPool.Get().(*shortest.GraphBall)
 		resp.Sets[i] = s.affected(gb, req.Reqs[i])

@@ -1,0 +1,14 @@
+module uagpnm/tools/gpnmlint
+
+go 1.24
+
+// The analyzer suite is a nested module so the root module stays
+// dependency-free. It would normally build on golang.org/x/tools
+// (go/analysis + analysistest); internal/lintkit is a minimal
+// offline-buildable stand-in with the same shape — Analyzer/Pass/
+// Diagnostic, a go/types loader driven by `go list -export`, and a
+// `// want`-comment fixture harness — so the suite builds with nothing
+// but the standard library and the go command.
+require uagpnm v0.0.0
+
+replace uagpnm => ../..

@@ -1,0 +1,82 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method object a call invokes, or nil
+// for calls through non-constant function values, builtins, and
+// conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (e.g. "panic"), resolving through Uses so a local function shadowing
+// the builtin does not match.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// FuncPkgSuffix reports whether fn belongs to a package whose import
+// path ends in suffix (see PathHasSuffix).
+func FuncPkgSuffix(fn *types.Func, suffix string) bool {
+	return fn != nil && fn.Pkg() != nil && PathHasSuffix(fn.Pkg().Path(), suffix)
+}
+
+// NamedOf unwraps pointers and aliases down to the *types.Named under
+// t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// NamedIs reports whether t (possibly behind a pointer) is the named
+// type `name` declared in a package whose path ends in pkgSuffix.
+func NamedIs(t types.Type, pkgSuffix, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && PathHasSuffix(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// ReceiverType returns the type of the receiver expression of a method
+// call, or nil when the call is not a selector-based method call.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}

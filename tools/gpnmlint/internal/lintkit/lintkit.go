@@ -1,0 +1,317 @@
+// Package lintkit is the minimal analysis framework gpnmlint runs on:
+// the same Analyzer/Pass/Diagnostic shape as golang.org/x/tools
+// go/analysis, reimplemented over the standard library only (this
+// repository builds offline; see the module comment in go.mod).
+//
+// Differences from go/analysis, all deliberate simplifications:
+//
+//   - Packages load through `go list -export -deps -json` plus a
+//     go/types check of each target package's source against the build
+//     cache's export data (load.go), instead of go/packages.
+//   - Analyzers run serially per package; cross-package state flows
+//     through Pass.ExportFact and Analyzer.Finish instead of the
+//     go/analysis fact serialisation machinery.
+//   - Suppression is a source comment, `//lint:allow <pass> <reason>`,
+//     checked here in the runner, so every analyzer gets it for free
+//     and the reason is mandatory.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// `//lint:allow <name> <reason>` suppressions.
+	Name string
+	// Aliases are extra names accepted in allow directives (nopanic
+	// answers to `//lint:allow panic ...`, the spelling the annotated
+	// call sites read most naturally with).
+	Aliases []string
+	// Doc is the one-paragraph description `gpnmlint -help` prints.
+	Doc string
+	// Run reports diagnostics for one package through pass.Report.
+	Run func(pass *Pass) error
+	// Finish, when non-nil, runs once after Run has seen every package —
+	// the cross-package step. It sees every fact the pass exported and
+	// reports program-wide diagnostics (metricname's kind-collision
+	// check lives here).
+	Finish func(f *Finish) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+	facts  *[]Fact
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Fact is one unit of cross-package state: something a per-package Run
+// wants its Finish step to see alongside every other package's.
+type Fact struct {
+	Pass  string
+	Pos   token.Position
+	Key   string
+	Value string
+}
+
+// Finish is the cross-package step's view: the facts this analyzer
+// exported from every package, and a reporter for program-wide
+// diagnostics.
+type Finish struct {
+	Facts  []Fact
+	report func(Diagnostic)
+}
+
+// Report files one program-wide diagnostic (Finish-step diagnostics are
+// suppressible at pos like any other).
+func (f *Finish) Report(pos token.Position, format string, args ...interface{}) {
+	f.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Reportf files one diagnostic at node's position.
+func (p *Pass) Reportf(node ast.Node, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(node.Pos()),
+		Pass:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact records cross-package state for the analyzer's Finish step.
+func (p *Pass) ExportFact(node ast.Node, key, value string) {
+	*p.facts = append(*p.facts, Fact{
+		Pass:  p.Analyzer.Name,
+		Pos:   p.Pkg.Fset.Position(node.Pos()),
+		Key:   key,
+		Value: value,
+	})
+}
+
+// PathHasSuffix reports whether an import path ends with the given
+// slash-separated suffix on a path-element boundary: "internal/hub"
+// matches "uagpnm/internal/hub" and "fix/internal/hub" but not
+// "uagpnm/internal/bighub". Analyzers scope themselves by path suffix
+// so the analysistest fixtures (module "fix") exercise the same code
+// the real tree does.
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// allowRe matches one suppression directive. The reason is mandatory:
+// an allow without a why is a finding in its own right.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_-]+)(?:\s+(.*))?$`)
+
+// allowSet records, per file line, which pass names are suppressed.
+type allowSet map[int]map[string]bool
+
+// allowsFor scans a file's comments into the line → suppressed-passes
+// map. A directive suppresses the line it shares (trailing comment) or,
+// when it stands alone, the next source line below it — consecutive
+// directive-only lines stack onto the same target line. Malformed
+// directives (no reason) are reported as diagnostics themselves.
+func allowsFor(pkg *Package, file *ast.File, report func(Diagnostic)) allowSet {
+	set := allowSet{}
+	fset := pkg.Fset
+	// Lines that hold nothing but a directive comment: their directive
+	// applies downward.
+	standalone := map[int][]string{} // line → pass names
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				if strings.HasPrefix(c.Text, "//lint:allow") {
+					report(Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Pass:    "lint",
+						Message: "malformed //lint:allow directive (want `//lint:allow <pass> <reason>`)",
+					})
+				}
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				report(Diagnostic{
+					Pos:     fset.Position(c.Pos()),
+					Pass:    "lint",
+					Message: fmt.Sprintf("//lint:allow %s needs a reason", m[1]),
+				})
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if onlyCommentOnLine(fset, file, c) {
+				standalone[pos.Line] = append(standalone[pos.Line], m[1])
+			} else {
+				addAllow(set, pos.Line, m[1])
+			}
+		}
+	}
+	// Stack runs of standalone directive lines onto the first line after
+	// the run.
+	lines := make([]int, 0, len(standalone))
+	for l := range standalone {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	for i := len(lines) - 1; i >= 0; i-- {
+		l := lines[i]
+		target := l + 1
+		for len(standalone[target]) > 0 {
+			target++
+		}
+		for _, name := range standalone[l] {
+			addAllow(set, target, name)
+		}
+	}
+	return set
+}
+
+func addAllow(set allowSet, line int, name string) {
+	if set[line] == nil {
+		set[line] = map[string]bool{}
+	}
+	set[line][name] = true
+}
+
+// onlyCommentOnLine reports whether c is the only thing on its source
+// line (i.e. a standalone directive rather than a trailing one).
+func onlyCommentOnLine(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	cl := fset.Position(c.Pos()).Line
+	only := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		if _, ok := n.(*ast.File); ok {
+			return true
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return false
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start <= cl && cl <= end {
+			// A node spanning the comment's line: fine when it is a
+			// multi-line construct whose tokens are elsewhere; fatal when
+			// a token starts or ends exactly on the line. Checking leaf
+			// nodes only keeps this cheap and right in practice.
+			switch n.(type) {
+			case *ast.Ident, *ast.BasicLit, *ast.ReturnStmt, *ast.BranchStmt:
+				only = false
+				return false
+			}
+		}
+		return start <= cl // descend only into nodes that could reach the line
+	})
+	return only
+}
+
+// names returns every name a directive may use for a.
+func (a *Analyzer) names() []string {
+	return append([]string{a.Name}, a.Aliases...)
+}
+
+// allowed reports whether d is suppressed at its line.
+func (a *Analyzer) allowed(set allowSet, line int) bool {
+	m := set[line]
+	if m == nil {
+		return false
+	}
+	for _, n := range a.names() {
+		if m[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package (then the Finish
+// steps) and returns the surviving diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	var facts []Fact
+	keep := func(d Diagnostic) { out = append(out, d) }
+
+	// Per-file suppression tables, built once per package.
+	type fileAllows struct {
+		pkg *Package
+		set allowSet
+	}
+	allowsByFile := map[string]fileAllows{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			allowsByFile[name] = fileAllows{pkg, allowsFor(pkg, f, keep)}
+		}
+	}
+
+	filtered := func(a *Analyzer) func(Diagnostic) {
+		return func(d Diagnostic) {
+			d.Pass = a.Name
+			if fa, ok := allowsByFile[d.Pos.Filename]; ok && a.allowed(fa.set, d.Pos.Line) {
+				return
+			}
+			out = append(out, d)
+		}
+	}
+
+	for _, a := range analyzers {
+		report := filtered(a)
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: report, facts: &facts}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		if a.Finish != nil {
+			var own []Fact
+			for _, f := range facts {
+				if f.Pass == a.Name {
+					own = append(own, f)
+				}
+			}
+			if err := a.Finish(&Finish{Facts: own, report: report}); err != nil {
+				return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package lintkit
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestAllowDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow nopanic construction invariant
+	panic("a")
+	panic("b") //lint:allow nopanic caller validated
+	//lint:allow nopanic
+	panic("c")
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "fixture", Fset: fset}
+	var diags []Diagnostic
+	set := allowsFor(pkg, f, func(d Diagnostic) { diags = append(diags, d) })
+
+	// The reason-less directive on line 7 must be reported and must not
+	// suppress anything.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("want one needs-a-reason diagnostic, got %v", diags)
+	}
+	a := &Analyzer{Name: "nopanic", Aliases: []string{"panic"}}
+	if !a.allowed(set, 5) {
+		t.Errorf("standalone directive must suppress line 5")
+	}
+	if !a.allowed(set, 6) {
+		t.Errorf("trailing directive must suppress line 6")
+	}
+	if a.allowed(set, 8) {
+		t.Errorf("reason-less directive must not suppress line 8")
+	}
+	if a.allowed(set, 4) {
+		t.Errorf("directive must not suppress its own line")
+	}
+}
+
+func TestAllowAlias(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow panic invariant documented above
+	panic("a")
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "fixture", Fset: fset}
+	set := allowsFor(pkg, f, func(Diagnostic) {})
+	a := &Analyzer{Name: "nopanic", Aliases: []string{"panic"}}
+	if !a.allowed(set, 5) {
+		t.Errorf("alias directive must suppress line 5")
+	}
+	other := &Analyzer{Name: "lockguard"}
+	if other.allowed(set, 5) {
+		t.Errorf("directive for another pass must not suppress lockguard")
+	}
+}
+
+func TestStackedDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow nopanic invariant one
+	//lint:allow lockguard invariant two
+	panic("a")
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "fixture", Fset: fset}
+	set := allowsFor(pkg, f, func(Diagnostic) {})
+	for _, name := range []string{"nopanic", "lockguard"} {
+		a := &Analyzer{Name: name}
+		if !a.allowed(set, 6) {
+			t.Errorf("stacked directives must both suppress line 6 (%s missing)", name)
+		}
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"uagpnm/internal/hub", "internal/hub", true},
+		{"fix/internal/hub", "internal/hub", true},
+		{"internal/hub", "internal/hub", true},
+		{"uagpnm/internal/bighub", "internal/hub", false},
+		{"uagpnm/internal/hubx", "internal/hub", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package linttest is the fixture harness for lintkit analyzers, shaped
+// like golang.org/x/tools' analysistest: fixtures live in a testdata
+// module, and every line expecting a diagnostic carries a
+// `// want "regexp"` comment. Run loads the fixture packages, runs the
+// analyzers, and fails the test on any unmatched diagnostic or
+// unsatisfied expectation.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+)
+
+// expectation is one `// want` clause waiting for a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the packages matched by patterns (relative to dir, the
+// fixture module root) and checks analyzers' diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, analyzers []*lintkit.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lintkit.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v under %s", patterns, dir)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	diags, err := lintkit.Run(analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unsatisfied expectation matching d, if any.
+func claim(wants []*expectation, d lintkit.Diagnostic) bool {
+	for _, w := range wants {
+		if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the `// want "re" ["re" ...]` expectations from
+// one file. Each quoted (or backquoted) pattern is a separate expected
+// diagnostic on the comment's line.
+func collectWants(t *testing.T, pkg *lintkit.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			pats, err := splitPatterns(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses a want clause's sequence of Go string literals.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit = s[1 : end+1]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want pattern must be a quoted string, got %q", s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

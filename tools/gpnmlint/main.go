@@ -1,0 +1,81 @@
+// Command gpnmlint runs the project's analysis passes over Go packages:
+// faultseam, nopanic, metricname, lockguard and defensivecopy — the
+// hand-maintained invariants of the sharded engine (failover seams,
+// error-model discipline, Prometheus naming, lock/RPC interleavings,
+// accessor aliasing) as mechanical checks.
+//
+// Usage:
+//
+//	gpnmlint [-version] [packages]
+//
+// With no package patterns it checks ./... in the current directory.
+// Exit status is 1 when any diagnostic is reported. Intentional
+// exceptions are annotated in source as `//lint:allow <pass> <reason>`
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uagpnm/internal/version"
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+	"uagpnm/tools/gpnmlint/passes/defensivecopy"
+	"uagpnm/tools/gpnmlint/passes/faultseam"
+	"uagpnm/tools/gpnmlint/passes/lockguard"
+	"uagpnm/tools/gpnmlint/passes/metricname"
+	"uagpnm/tools/gpnmlint/passes/nopanic"
+)
+
+var analyzers = []*lintkit.Analyzer{
+	faultseam.Analyzer,
+	nopanic.Analyzer,
+	metricname.Analyzer,
+	lockguard.Analyzer,
+	defensivecopy.Analyzer,
+}
+
+func main() {
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gpnmlint [-version] [packages]\n\npasses:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("gpnmlint"))
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lintkit.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnmlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lintkit.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpnmlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gpnmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

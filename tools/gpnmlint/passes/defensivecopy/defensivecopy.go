@@ -1,0 +1,127 @@
+// Package defensivecopy flags exported methods on exported types that
+// return an internal map or slice field uncopied. Callers that mutate
+// the returned value then alias the receiver's private state — the
+// PR 2 Session.SQuery/Matches bug, mechanised. Documented read-only
+// accessors opt out with //lint:allow defensivecopy <reason>.
+package defensivecopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "defensivecopy",
+	Doc: "exported methods on exported types must not return unexported " +
+		"map/slice fields without copying (callers would alias internal state)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if pass.Pkg.Types.Name() == "main" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(info, fd)
+			if recv == nil || !exportedReceiver(recv) {
+				continue
+			}
+			checkBody(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+// receiverVar resolves the method's receiver variable, or nil for
+// unnamed/blank receivers (which cannot leak fields anyway).
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+// exportedReceiver reports whether the receiver's named type is
+// exported (unexported types can't be reached from outside the package,
+// so aliasing their fields is the package's own business).
+func exportedReceiver(recv *types.Var) bool {
+	n := lintkit.NamedOf(recv.Type())
+	return n != nil && n.Obj().Exported()
+}
+
+func checkBody(pass *lintkit.Pass, fd *ast.FuncDecl, recv *types.Var) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures aren't the exported surface
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			field, ok := leakedField(info, res, recv)
+			if !ok {
+				continue
+			}
+			kind := "slice"
+			if _, isMap := field.Type().Underlying().(*types.Map); isMap {
+				kind = "map"
+			}
+			pass.Reportf(res, "%s.%s returns internal %s field %q without copying; callers can mutate receiver state",
+				lintkit.NamedOf(recv.Type()).Obj().Name(), fd.Name.Name, kind, field.Name())
+		}
+		return true
+	})
+}
+
+// leakedField reports whether expr is a selector chain rooted at the
+// receiver ending in an unexported field of map or slice type.
+func leakedField(info *types.Info, expr ast.Expr, recv *types.Var) (*types.Var, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Exported() {
+		return nil, false
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Map, *types.Slice:
+	default:
+		return nil, false
+	}
+	if !rootedAtReceiver(info, sel.X, recv) {
+		return nil, false
+	}
+	return field, true
+}
+
+// rootedAtReceiver walks a chain of selectors/parens down to an
+// identifier and reports whether it is the receiver variable.
+func rootedAtReceiver(info *types.Info, e ast.Expr, recv *types.Var) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x] == recv
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package defensivecopy_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+	"uagpnm/tools/gpnmlint/internal/lintkit/linttest"
+	"uagpnm/tools/gpnmlint/passes/defensivecopy"
+)
+
+func TestDefensivecopy(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linttest.Run(t, td, []*lintkit.Analyzer{defensivecopy.Analyzer}, "./accessors")
+}

@@ -1,0 +1,18 @@
+package faultseam_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+	"uagpnm/tools/gpnmlint/internal/lintkit/linttest"
+	"uagpnm/tools/gpnmlint/passes/faultseam"
+)
+
+func TestFaultseam(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linttest.Run(t, td, []*lintkit.Analyzer{faultseam.Analyzer}, "./internal/partition")
+}

@@ -1,0 +1,129 @@
+// Package metricname checks every name handed to
+// obs.Registry.Counter/Gauge/Histogram: it must be a constant string
+// matching ^gpnm_[a-z0-9_]+$ (a valid Prometheus 0.0.4 identifier with
+// the project prefix), label keys must be constant snake_case
+// identifiers, and — across the whole program — one name must never
+// register as two different instrument types (the registry panics on
+// that at runtime; the lint catches it at review time).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^gpnm_[a-z0-9_]+$`)
+	labelRe = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+var instruments = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "metricname",
+	Doc: "metric names passed to obs.Registry.{Counter,Gauge,Histogram} must be " +
+		"constant strings matching ^gpnm_[a-z0-9_]+$ with snake_case label keys, " +
+		"and one name must not register as two instrument types anywhere",
+	Run:    run,
+	Finish: finish,
+}
+
+func run(pass *lintkit.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintkit.Callee(info, call)
+			if fn == nil || !instruments[fn.Name()] || !lintkit.FuncPkgSuffix(fn, "internal/obs") {
+				return true
+			}
+			if !lintkit.NamedIs(lintkit.ReceiverType(info, call), "internal/obs", "Registry") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(info, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0], "metric name must be a constant string literal, not a computed value")
+				return true
+			}
+			if !nameRe.MatchString(name) {
+				pass.Reportf(call.Args[0], "metric name %q must match ^gpnm_[a-z0-9_]+$", name)
+			} else {
+				pass.ExportFact(call.Args[0], name, fn.Name())
+			}
+			// Labels are key,value pairs; keys sit at odd argument
+			// positions and must be constant identifiers. Values may be
+			// dynamic.
+			for i := 1; i < len(call.Args); i += 2 {
+				key, ok := constString(info, call.Args[i])
+				if !ok {
+					pass.Reportf(call.Args[i], "metric label key must be a constant string")
+					continue
+				}
+				if !labelRe.MatchString(key) {
+					pass.Reportf(call.Args[i], "metric label key %q must match ^[a-z_][a-z0-9_]*$", key)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// finish is the cross-package step: a metric name registered under two
+// instrument types anywhere in the program is a runtime panic waiting
+// in obs.Registry.get.
+func finish(f *lintkit.Finish) error {
+	type site struct {
+		pos  token.Position
+		kind string
+	}
+	byName := map[string][]site{}
+	for _, fact := range f.Facts {
+		byName[fact.Key] = append(byName[fact.Key], site{fact.Pos, fact.Value})
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sites := byName[n]
+		kinds := map[string]bool{}
+		for _, s := range sites {
+			kinds[s.kind] = true
+		}
+		if len(kinds) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(kinds))
+		for k := range kinds {
+			list = append(list, k)
+		}
+		sort.Strings(list)
+		for _, s := range sites {
+			f.Report(s.pos, "metric %q registered as multiple instrument types (%s)", n, strings.Join(list, ", "))
+		}
+	}
+	return nil
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

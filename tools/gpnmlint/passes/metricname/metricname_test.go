@@ -1,0 +1,20 @@
+package metricname_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+	"uagpnm/tools/gpnmlint/internal/lintkit/linttest"
+	"uagpnm/tools/gpnmlint/passes/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two packages so the finish step sees the cross-package kind
+	// collision on gpnm_dup_total.
+	linttest.Run(t, td, []*lintkit.Analyzer{metricname.Analyzer}, "./metrics/...")
+}

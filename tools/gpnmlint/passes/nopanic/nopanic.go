@@ -1,0 +1,70 @@
+// Package nopanic forbids panic/log.Fatal*/os.Exit in the serving and
+// RPC packages. Those paths converted to returned errors in PR 4 and
+// unwind shard faults as recoverable panics only through the dedicated
+// failover seam; any other process-killing call in a request path takes
+// the whole node down for one bad input. Genuine unreachable-invariant
+// panics are annotated `//lint:allow panic <reason>`.
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+)
+
+// scope is the set of serving/RPC packages (matched by import-path
+// suffix) where process-killing calls are forbidden.
+var scope = []string{
+	"internal/shard",
+	"internal/hub",
+	"internal/api",
+	"internal/partition",
+	"internal/srvutil",
+}
+
+var Analyzer = &lintkit.Analyzer{
+	Name:    "nopanic",
+	Aliases: []string{"panic"},
+	Doc: "forbid panic, log.Fatal* and os.Exit in serving/RPC packages " +
+		"(internal/{shard,hub,api,partition,srvutil}); annotate genuine " +
+		"invariants with //lint:allow panic <reason>",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	inScope := false
+	for _, s := range scope {
+		if lintkit.PathHasSuffix(pass.Pkg.ImportPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lintkit.IsBuiltin(pass.Pkg.Info, call, "panic") {
+				pass.Reportf(call, "panic in serving package %s; return an error or annotate with //lint:allow panic <reason>", pass.Pkg.ImportPath)
+				return true
+			}
+			fn := lintkit.Callee(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				pass.Reportf(call, "log.%s exits the process; serving packages must return errors", fn.Name())
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				pass.Reportf(call, "os.Exit in serving package %s; return an error instead", pass.Pkg.ImportPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package nopanic_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uagpnm/tools/gpnmlint/internal/lintkit"
+	"uagpnm/tools/gpnmlint/internal/lintkit/linttest"
+	"uagpnm/tools/gpnmlint/passes/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ./clean is out of scope: its panic must stay silent.
+	linttest.Run(t, td, []*lintkit.Analyzer{nopanic.Analyzer}, "./internal/hub", "./clean")
+}

@@ -1,0 +1,44 @@
+// Package accessors is the defensivecopy fixture: exported methods
+// leaking unexported map/slice fields (diagnostics) against copying,
+// unexported and annotated accessors (silent).
+package accessors
+
+type Graph struct {
+	out   map[int][]int
+	nodes []int
+	Name  string
+}
+
+func (g *Graph) Out() map[int][]int { return g.out } // want `returns internal map field "out"`
+
+func (g *Graph) Nodes() []int {
+	return g.nodes // want `returns internal slice field "nodes"`
+}
+
+// Copying accessor: silent.
+func (g *Graph) NodesCopy() []int {
+	out := make([]int, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Unexported method: package-internal surface, silent.
+func (g *Graph) peek() []int { return g.nodes }
+
+// Unexported receiver type: silent.
+type builder struct{ rows []int }
+
+func (b *builder) Rows() []int { return b.rows }
+
+// Exported field: already part of the public surface, silent.
+type Open struct{ Rows []int }
+
+func (o *Open) Get() []int { return o.Rows }
+
+// Annotated documented view: silent.
+type Adj struct{ in map[int][]int }
+
+func (a *Adj) In() map[int][]int {
+	//lint:allow defensivecopy documented read-only view; copying would dominate the hot path
+	return a.in
+}

@@ -1,0 +1,5 @@
+// Package clean is outside nopanic's serving-package scope: its panic
+// must stay silent.
+package clean
+
+func Explode() { panic("fine here") }

@@ -1,0 +1,32 @@
+// Package hub is the nopanic fixture: process-killing calls in a
+// serving package, with and without annotations.
+package hub
+
+import (
+	"log"
+	"os"
+)
+
+func Serve(bad bool) error {
+	if bad {
+		panic("boom") // want `panic in serving package`
+	}
+	log.Fatalf("no: %v", bad) // want `log.Fatalf exits the process`
+	os.Exit(1)                // want `os.Exit in serving package`
+	return nil
+}
+
+// Annotated invariant (standalone directive): silent.
+func mustAligned(n int) {
+	if n%2 != 0 {
+		//lint:allow panic alignment is a construction invariant, validated at build time
+		panic("unaligned")
+	}
+}
+
+// Trailing annotation, using the pass's primary name: silent.
+func mustSmall(n int) {
+	if n > 1024 {
+		panic("too big") //lint:allow nopanic size checked by the only caller
+	}
+}

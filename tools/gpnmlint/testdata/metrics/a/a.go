@@ -1,0 +1,19 @@
+// Package a is the metricname fixture: name shape, constancy, label
+// keys, and one half of a cross-package kind collision (see sibling
+// package b).
+package a
+
+import "fix/internal/obs"
+
+func Record(reg *obs.Registry, dyn string) {
+	reg.Counter("gpnm_good_total", "endpoint", "/ops").Inc()        // silent
+	reg.Counter("gpnm_" + "concat_total").Inc()                     // silent: still a constant
+	reg.Counter("rows_total").Inc()                                 // want `must match`
+	reg.Gauge("gpnm_Bad_Gauge").Set(1)                              // want `must match`
+	reg.Counter(dyn).Inc()                                          // want `constant string`
+	reg.Histogram("gpnm_lat_seconds", "End-Point", "/x").Observe(1) // want `label key "End-Point"`
+	reg.Counter("gpnm_dup_total").Inc()                             // want `multiple instrument types`
+
+	//lint:allow metricname legacy name exported before the prefix convention
+	reg.Gauge("legacy_depth").Set(0)
+}

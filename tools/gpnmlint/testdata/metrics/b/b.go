@@ -1,0 +1,10 @@
+// Package b registers a metric name package a already registered as a
+// Counter — the cross-package collision metricname's finish step
+// reports at both sites.
+package b
+
+import "fix/internal/obs"
+
+func Record(reg *obs.Registry) {
+	reg.Gauge("gpnm_dup_total").Set(2) // want `multiple instrument types`
+}
