@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test check short race fuzz fuzz-ci ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index serve shards smoke shard-smoke failover-smoke index-smoke metrics-smoke
+.PHONY: all vet lint build test check short race fuzz fuzz-ci ci bench-seed scaling bench bench-hub bench-shards bench-failover bench-index bench-async serve shards smoke shard-smoke failover-smoke index-smoke metrics-smoke async-smoke
 
 all: ci
 
@@ -81,6 +81,13 @@ bench-failover:
 bench-index:
 	$(GO) run ./cmd/gpnm-bench -index -patterns 10000 -json BENCH_index.json
 
+# Record the asynchronous-pipeline baseline: lock-step vs pipelined
+# batch replay and amend workers 1 vs N (results differentially
+# verified inside the scenario; single-core runs are stamped
+# degraded_env and show parity by construction).
+bench-async:
+	$(GO) run ./cmd/gpnm-bench -async -json BENCH_async.json
+
 # Standing-query HTTP server on a synthetic demo graph.
 serve:
 	$(GO) run ./cmd/gpnm-serve -synth-nodes 2000 -synth-edges 8000 -synth-labels 12
@@ -126,3 +133,8 @@ index-smoke:
 # the pprof listener must all answer with the counters advancing.
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
+
+# Async-pipeline smoke test: the -async scenario at mini scale must
+# verify equal results and actually overlap queued batches' previews.
+async-smoke:
+	bash scripts/async_smoke.sh

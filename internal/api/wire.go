@@ -339,6 +339,11 @@ type BatchStatsBody struct {
 	RPCCalls       uint64 `json:"rpc_calls,omitempty"`
 	RowsPrefetched uint64 `json:"rows_prefetched,omitempty"`
 	RowsMissed     uint64 `json:"rows_missed,omitempty"`
+	// AmendWorkers is the per-pass amendment fan width the batch ran
+	// with (1 = sequential drain); Overlapped flags batches whose phase 1
+	// ran overlapped with the previous batch's fan (pipelined mode).
+	AmendWorkers int  `json:"amend_workers,omitempty"`
+	Overlapped   bool `json:"overlapped,omitempty"`
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -360,6 +365,8 @@ func EncodeBatchStats(st hub.BatchStats) BatchStatsBody {
 		RPCCalls:       st.RPCCalls,
 		RowsPrefetched: st.RowsPrefetched,
 		RowsMissed:     st.RowsMissed,
+		AmendWorkers:   st.AmendWorkers,
+		Overlapped:     st.Overlapped,
 	}
 }
 
@@ -380,6 +387,8 @@ func (b BatchStatsBody) Decode() hub.BatchStats {
 		RPCCalls:       b.RPCCalls,
 		RowsPrefetched: b.RowsPrefetched,
 		RowsMissed:     b.RowsMissed,
+		AmendWorkers:   b.AmendWorkers,
+		Overlapped:     b.Overlapped,
 	}
 }
 

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"uagpnm/internal/graph"
+	"uagpnm/internal/hub"
+	"uagpnm/internal/obs"
+	"uagpnm/internal/patgen"
+	"uagpnm/internal/pattern"
+	"uagpnm/internal/updates"
+)
+
+// AsyncConfig parameterises the asynchronous-substrate measurement:
+// the same standing-query replay driven two ways — lock-step (each
+// ApplyBatch returns before the next begins, the only mode previous
+// revisions had) and pipelined (the whole script queued up front, so
+// each batch's pre-state deletion balls are computed while its
+// predecessor is still amending patterns) — across a serial and a wide
+// amendment pool. The deltas of interest: pipelined wall time vs
+// lock-step wall time under back-to-back load, and the amend_fan phase
+// shrinking as workers grow.
+type AsyncConfig struct {
+	Nodes    int // data graph nodes (default 3000)
+	Edges    int // data graph edges (default 12000)
+	Labels   int // distinct labels (default 12)
+	Patterns int // standing queries per hub (default 24)
+
+	Batches int // update batches per replay (default 8)
+	Updates int // data updates per batch (default 60)
+	Horizon int // SLen hop cap (default 3)
+	// Workers is the wide end of the amendment-pool sweep; every cell
+	// runs at 1 and at Workers (0 = all cores).
+	Workers int
+	Seed    int64
+
+	// Verify cross-checks every pattern's final match across all four
+	// cells — the pipelined replay must be bit-for-bit the lock-step
+	// one.
+	Verify bool
+}
+
+// AsyncCell is one (mode, workers) replay.
+type AsyncCell struct {
+	Mode    string `json:"mode"` // "lockstep" | "pipelined"
+	Workers int    `json:"workers"`
+
+	WallSeconds float64 `json:"wall_seconds"` // whole replay, submit of first to return of last
+	// Phases are the hub's gpnm_batch_phase_seconds sums for the
+	// replay: amend_fan is the per-pattern fan the worker sweep
+	// shrinks, pre_overlap (pipelined cells only) is phase-1 work that
+	// ran off the critical path, slen_sync the structural application.
+	Phases map[string]float64 `json:"phases"`
+	// OverlappedBatches counts batches that adopted their preview
+	// (always 0 for lock-step cells; at most Batches-1 for pipelined —
+	// the first batch has no predecessor to overlap with).
+	OverlappedBatches int `json:"overlapped_batches"`
+}
+
+// AsyncResult is the measured comparison — BENCH_async.json.
+type AsyncResult struct {
+	Config AsyncConfig `json:"config"`
+	Env    RunEnv      `json:"env"`
+	Cells  []AsyncCell `json:"cells"`
+	// PipelineSpeedup = lock-step wall / pipelined wall at the wide
+	// worker bound (>1 = the overlap paid off). On a degraded
+	// single-core environment (env.degraded_env) parity is the
+	// expected outcome: there is no second core for the preview or the
+	// fan to run on.
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// AmendSpeedup = lock-step amend_fan seconds at workers=1 / at the
+	// wide bound — the parallel-amendment headline, same caveat.
+	AmendSpeedup float64 `json:"amend_speedup"`
+	Verified     bool    `json:"verified"`
+}
+
+// RunAsync executes the four replays from identical state.
+func RunAsync(cfg AsyncConfig) AsyncResult {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3000
+	}
+	if cfg.Edges == 0 {
+		cfg.Edges = 12000
+	}
+	if cfg.Labels == 0 {
+		cfg.Labels = 12
+	}
+	if cfg.Patterns == 0 {
+		cfg.Patterns = 24
+	}
+	if cfg.Batches == 0 {
+		cfg.Batches = 8
+	}
+	if cfg.Updates == 0 {
+		cfg.Updates = 60
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 3
+	}
+	wide := cfg.Workers
+	if wide <= 0 {
+		wide = runtime.NumCPU()
+	}
+	cfg.Workers = wide
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	labels := make([]string, cfg.Labels)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%d", i)
+	}
+	g := graph.New(nil)
+	for i := 0; i < cfg.Nodes; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < cfg.Edges; i++ {
+		g.AddEdge(uint32(rng.Intn(cfg.Nodes)), uint32(rng.Intn(cfg.Nodes)))
+	}
+	patterns := make([]*pattern.Graph, cfg.Patterns)
+	for i := range patterns {
+		patterns[i] = patgen.Generate(patgen.Config{
+			Nodes: 5, Edges: 5, BoundMin: 1, BoundMax: cfg.Horizon,
+			Seed: cfg.Seed + int64(500+i), Labels: labels,
+		}, g.Labels())
+	}
+
+	// Pre-generate the script against an evolving clone so every replay
+	// sees identical batches (and the pipelined cells can queue them all
+	// up front — the whole point of the scenario). Balanced scripts mix
+	// genuine deletions of existing edges with inserts: deletions are
+	// what the pipelined preview hoists, so an insert-only script would
+	// measure nothing.
+	batches := make([][]updates.Update, cfg.Batches)
+	{
+		gw := g.Clone()
+		for b := range batches {
+			ups := updates.Generate(updates.Balanced(cfg.Seed*977+int64(b), 0, cfg.Updates),
+				gw, patterns[0]).D
+			updates.ApplyDataStructural(ups, gw)
+			batches[b] = ups
+		}
+	}
+
+	res := AsyncResult{Config: cfg, Env: CaptureEnv(cfg.Workers, 0), Verified: cfg.Verify}
+
+	type replayOut struct {
+		h   *hub.Hub
+		ids []hub.PatternID
+	}
+	replay := func(pipelined bool, workers int) (AsyncCell, replayOut) {
+		mode := "lockstep"
+		if pipelined {
+			mode = "pipelined"
+		}
+		cell := AsyncCell{Mode: mode, Workers: workers}
+		reg := obs.NewRegistry()
+		h, err := hub.New(g.Clone(), hub.Config{
+			Horizon: cfg.Horizon, Workers: workers, Metrics: reg,
+		})
+		if err != nil {
+			panic("bench: hub build failed: " + err.Error())
+		}
+		ids := make([]hub.PatternID, len(patterns))
+		for i, p := range patterns {
+			id, err := h.Register(p.Clone())
+			if err != nil {
+				panic("bench: hub register failed: " + err.Error())
+			}
+			ids[i] = id
+		}
+		start := time.Now()
+		if pipelined {
+			pl := hub.NewPipeline(h)
+			tickets := make([]*hub.Ticket, len(batches))
+			for b, ups := range batches {
+				tickets[b] = pl.Submit(hub.Batch{D: ups})
+			}
+			for b, tk := range tickets {
+				_, st, err := tk.Wait()
+				if err != nil {
+					panic(fmt.Sprintf("bench: pipelined batch %d rejected: %v", b, err))
+				}
+				if st.Overlapped {
+					cell.OverlappedBatches++
+				}
+			}
+		} else {
+			for b, ups := range batches {
+				if _, _, err := h.ApplyBatch(hub.Batch{D: ups}); err != nil {
+					panic(fmt.Sprintf("bench: batch %d rejected: %v", b, err))
+				}
+			}
+		}
+		cell.WallSeconds = time.Since(start).Seconds()
+		cell.Phases = reg.HistogramSums("gpnm_batch_phase_seconds")
+		return cell, replayOut{h: h, ids: ids}
+	}
+
+	var outs []replayOut
+	for _, workers := range []int{1, wide} {
+		for _, pipelined := range []bool{false, true} {
+			cell, out := replay(pipelined, workers)
+			res.Cells = append(res.Cells, cell)
+			outs = append(outs, out)
+		}
+		if wide == 1 {
+			break // degraded single-core environment: one sweep point
+		}
+	}
+	defer func() {
+		for _, o := range outs {
+			o.h.Close()
+		}
+	}()
+
+	if cfg.Verify {
+		ref := outs[0]
+		for oi, o := range outs[1:] {
+			for i := range patterns {
+				mr, okR := ref.h.Match(ref.ids[i])
+				mo, okO := o.h.Match(o.ids[i])
+				if !okR || !okO || !mr.Equal(mo) {
+					panic(fmt.Sprintf("bench: pattern %d diverged between cell 0 and cell %d", i, oi+1))
+				}
+			}
+		}
+	}
+
+	cellAt := func(mode string, workers int) *AsyncCell {
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			if c.Mode == mode && c.Workers == workers {
+				return c
+			}
+		}
+		return nil
+	}
+	if ls, pp := cellAt("lockstep", wide), cellAt("pipelined", wide); ls != nil && pp != nil {
+		res.PipelineSpeedup = ratio(ls.WallSeconds, pp.WallSeconds)
+	}
+	if s1, sw := cellAt("lockstep", 1), cellAt("lockstep", wide); s1 != nil && sw != nil {
+		res.AmendSpeedup = ratio(s1.Phases["amend_fan"], sw.Phases["amend_fan"])
+	}
+	return res
+}
+
+// String renders the comparison as a table.
+func (r AsyncResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "asynchronous pipeline — %d patterns, %d batches × %d updates, graph %d/%d (wide workers=%d)\n",
+		r.Config.Patterns, r.Config.Batches, r.Config.Updates, r.Config.Nodes, r.Config.Edges, r.Config.Workers)
+	fmt.Fprintf(&sb, "%-10s  %8s  %10s  %12s  %12s  %12s  %11s\n",
+		"mode", "workers", "wall (s)", "amend (s)", "slen (s)", "overlap (s)", "overlapped")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-10s  %8d  %10.4f  %12.4f  %12.4f  %12.4f  %11d\n",
+			c.Mode, c.Workers, c.WallSeconds, c.Phases["amend_fan"], c.Phases["slen_sync"],
+			c.Phases["pre_overlap"], c.OverlappedBatches)
+	}
+	fmt.Fprintf(&sb, "pipeline speedup %.3fx, amend fan speedup %.3fx",
+		r.PipelineSpeedup, r.AmendSpeedup)
+	if r.Env.DegradedEnv {
+		sb.WriteString("  [degraded single-core env: parity expected]")
+	}
+	if r.Verified {
+		sb.WriteString("  [results verified equal]")
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// JSON renders the comparison for machine consumption (BENCH files).
+func (r AsyncResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -24,7 +24,7 @@ func differentialSessions(t *testing.T, seed int64, horizon int) []*Session {
 	for _, m := range Methods {
 		ss = append(ss, NewSession(g.Clone(), p.Clone(), Config{Method: m, Horizon: horizon}))
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		ss = append(ss, NewSession(g.Clone(), p.Clone(),
 			Config{Method: UAGPNM, Horizon: horizon, Workers: workers}))
 	}

@@ -107,6 +107,12 @@ type Config struct {
 	// negative = disable failover, the every-loss-poisons pre-failover
 	// model). See partition.WithFailoverRetries.
 	FailoverRetries int
+	// OpChunk sets the sharded substrate's op-stream chunk size: a
+	// batch's structural ops flush to the shard fleet in epoch-fenced
+	// chunks of this many ops while staging continues (0 = the engine
+	// default; negative = no streaming, one end-of-phase flush). Only
+	// meaningful with ShardAddrs. See partition.WithOpChunk.
+	OpChunk int
 	// Metrics, when non-nil, receives the UA-GPNM substrate's telemetry
 	// (batch phase histograms, recovery counters, RPC latency/bytes for
 	// sharded engines) instead of the process-global obs.Default. The
@@ -238,6 +244,9 @@ func NewEngineFor(g *graph.Graph, cfg Config) shortest.DistanceEngine {
 			}
 			if cfg.FailoverRetries != 0 {
 				opts = append(opts, partition.WithFailoverRetries(cfg.FailoverRetries))
+			}
+			if cfg.OpChunk != 0 {
+				opts = append(opts, partition.WithOpChunk(cfg.OpChunk))
 			}
 		}
 		return partition.NewEngine(g, cfg.Horizon, opts...)

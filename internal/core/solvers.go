@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"uagpnm/internal/ehtree"
@@ -158,7 +159,7 @@ func (s *Session) runUA(b updates.Batch) {
 	// Read-only against (s.Match, frozen post-batch engine), so the
 	// failover retry recomputes cleanly; session state commits below.
 	var pass UAPassResult
-	s.readFailover(func() { pass = RunUAPass(s.Match, newP, s.G, s.Engine, affInfos, canInfos, changeLog) })
+	s.readFailover(func() { pass = RunUAPass(s.Match, newP, s.G, s.Engine, affInfos, canInfos, changeLog, s.amendWorkers()) })
 	s.Stats.TreeSize = pass.TreeSize
 	s.Stats.TreeRoots = pass.TreeRoots
 	s.Stats.Eliminated = pass.Eliminated
@@ -166,6 +167,18 @@ func (s *Session) runUA(b updates.Batch) {
 	s.Match = pass.Match
 	s.P = newP
 	s.Stats.Passes = 1
+}
+
+// amendWorkers is the fan width of the session's own amendment pass.
+// A single session's pass is the pool's only consumer while it runs, so
+// it gets the whole configured bound; 0 resolves like the engine pool
+// (GOMAXPROCS), 1 — the UA-GPNM-NoPar configuration — stays the
+// bit-for-bit sequential drain.
+func (s *Session) amendWorkers() int {
+	if s.cfg.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.cfg.Workers
 }
 
 // UAPassResult is the outcome of one pattern's RunUAPass.
@@ -185,8 +198,13 @@ type UAPassResult struct {
 // the engine and affInfos/changeLog are post-batch. It only reads its
 // inputs (the engine within the read-epoch contract), so many patterns
 // can run their passes concurrently over one shared substrate.
+// amendWorkers fans the amendment pass itself (Phase A closure rounds
+// and the striped removal fixpoint) across up to that many goroutines;
+// ≤ 1 is the bit-for-bit sequential drain. Callers splitting a worker
+// pool across concurrent passes divide the pool here.
 func RunUAPass(oldMatch *simulation.Match, newP *pattern.Graph, g *graph.Graph,
-	eng shortest.DistanceEngine, affInfos, canInfos []elim.Info, changeLog nodeset.Set) UAPassResult {
+	eng shortest.DistanceEngine, affInfos, canInfos []elim.Info, changeLog nodeset.Set,
+	amendWorkers int) UAPassResult {
 	tree := ehtree.Build(affInfos, canInfos, func(up, ud elim.Info) bool {
 		return elim.CrossEliminates(up, ud, oldMatch, eng)
 	})
@@ -198,7 +216,7 @@ func RunUAPass(oldMatch *simulation.Match, newP *pattern.Graph, g *graph.Graph,
 		seeds = seeds.Union(root.Set)
 	}
 	return UAPassResult{
-		Match:      simulation.Amend(oldMatch, newP, g, eng, seeds),
+		Match:      simulation.AmendN(oldMatch, newP, g, eng, seeds, amendWorkers),
 		TreeSize:   tree.Size(),
 		TreeRoots:  len(tree.Roots),
 		Eliminated: tree.EliminatedCount(),

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"uagpnm/internal/obs"
 	"uagpnm/internal/pattern"
 	"uagpnm/internal/shard"
 	"uagpnm/internal/updates"
@@ -235,6 +236,118 @@ func TestHubFailoverOnRegisterRead(t *testing.T) {
 	}
 	if len(deltas) != 1 || len(deltas[0].Nodes) == 0 {
 		t.Fatalf("post-recovery batch delta = %+v, want node 3 added", deltas)
+	}
+}
+
+// TestHubHealthSweepRepairsIdleLoss pins the proactive sweep contract:
+// a worker that dies while the hub is idle — discovered by the sweep's
+// own /healthz probe, i.e. killed mid-sweep — is repaired off the
+// critical path, so the NEXT batch runs clean (Recovered stays 0) and
+// still produces correct results. Without the sweep this exact loss is
+// TestHubFailoverOnRegisterRead's scenario: paid for inside the next
+// read fan.
+func TestHubHealthSweepRepairsIdleLoss(t *testing.T) {
+	healthy := newKillableHubWorker(t)
+	victim := newKillableHubWorker(t)
+	g := lineGraph()
+	reg := obs.NewRegistry()
+	h, err := New(g, Config{Horizon: 3, Workers: 2, Metrics: reg,
+		Shards: []string{healthy.ts.URL, victim.ts.URL}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+	id := mustRegister(t, h, abPattern(h.Graph()))
+	if _, _, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: 2, To: 1},
+	}}); err != nil {
+		t.Fatalf("healthy batch: %v", err)
+	}
+
+	// A healthy sweep is a no-op: probes fan, nothing repairs.
+	h.healthSweep()
+	if n := reg.Counter("gpnm_sweep_repaired_total").Value(); n != 0 {
+		t.Fatalf("healthy sweep repaired %d workers", n)
+	}
+
+	// The victim dies ON the sweep's own probe — killed mid-sweep, with
+	// no batch in flight anywhere near it.
+	victim.armed.Store("/healthz")
+	h.healthSweep()
+	if !victim.dead.Load() {
+		t.Fatal("sweep probe never reached the armed victim")
+	}
+	if n := reg.Counter("gpnm_sweep_repaired_total").Value(); n != 1 {
+		t.Fatalf("gpnm_sweep_repaired_total = %d, want 1", n)
+	}
+	if recovering, recovered := h.Status(); recovering || recovered != 1 {
+		t.Fatalf("Status() = (%v, %d), want (false, 1)", recovering, recovered)
+	}
+	if h.Err() != nil {
+		t.Fatalf("hub poisoned by sweep repair: %v", h.Err())
+	}
+
+	// The payoff: the next batch meets an already-repaired fleet — no
+	// recovery on its critical path — and the data is right.
+	deltas, st, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeDelete, From: 2, To: 1},
+	}})
+	if err != nil || st.Recovered != 0 {
+		t.Fatalf("post-sweep batch = (err=%v, recovered=%d), want clean", err, st.Recovered)
+	}
+	if len(deltas) != 1 || len(deltas[0].Nodes) == 0 {
+		t.Fatalf("post-sweep batch lost its delta: %+v", deltas)
+	}
+	m, _ := h.Match(id)
+	if m.Nodes(0).Contains(2) {
+		t.Fatal("post-sweep state wrong: deleted edge still matching")
+	}
+	// A second sweep over the repaired fleet finds nothing new.
+	h.healthSweep()
+	if n := reg.Counter("gpnm_sweep_repaired_total").Value(); n != 1 {
+		t.Fatalf("repaired fleet re-repaired: counter = %d", n)
+	}
+}
+
+// TestHubHealthSweepBackground drives the production path: the ticker
+// goroutine discovers an idle loss within a few intervals, and stop()
+// is idempotent and halts further sweeps.
+func TestHubHealthSweepBackground(t *testing.T) {
+	healthy := newKillableHubWorker(t)
+	victim := newKillableHubWorker(t)
+	reg := obs.NewRegistry()
+	h, err := New(lineGraph(), Config{Horizon: 3, Workers: 2, Metrics: reg,
+		Shards: []string{healthy.ts.URL, victim.ts.URL}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+	mustRegister(t, h, abPattern(h.Graph()))
+
+	stop := h.StartHealthSweep(10 * time.Millisecond)
+	defer stop()
+	victim.dead.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, recovered := h.Status(); recovered == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sweep never repaired the idle loss")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	swept := reg.Counter("gpnm_sweep_total").Value()
+	time.Sleep(50 * time.Millisecond)
+	if after := reg.Counter("gpnm_sweep_total").Value(); after != swept {
+		t.Fatalf("sweeps continued after stop: %d -> %d", swept, after)
+	}
+	if _, _, err := h.ApplyBatch(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: 2, To: 1},
+	}}); err != nil {
+		t.Fatalf("post-sweep batch: %v", err)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"uagpnm/internal/core"
 	"uagpnm/internal/elim"
@@ -101,6 +102,23 @@ type Config struct {
 	// 1 per boundary; negative = disable failover entirely (every loss
 	// poisons, the pre-failover model).
 	FailoverRetries int
+	// OpChunk sets the sharded substrate's op-stream chunk size: each
+	// batch's ordered ops flush to the workers in epoch-fenced chunks of
+	// this many ops, in the background, while the single writer is still
+	// staging the rest (0 = the engine default; negative = no streaming,
+	// one end-of-phase flush — the lock-step shape). Only meaningful
+	// with Shards. See partition.WithOpChunk.
+	OpChunk int
+	// Pipeline opts the hub into the pipelined ApplyBatch queue: calls
+	// route through an internal Pipeline, so when batches arrive faster
+	// than they apply (concurrent front-end posts, a driver using
+	// Submit), batch k+1's pre-state deletion balls are computed while
+	// batch k's amendment fan is still running, and phase 1 of k+1
+	// adopts them (BatchStats.Overlapped). Results are identical either
+	// way — a preview that cannot be proven current is discarded. The
+	// lock-step shape (off) applies each batch's phases strictly in
+	// sequence.
+	Pipeline bool
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256 non-empty deltas). Subscribers further behind than
 	// the log reaches receive a resync signal instead of deltas.
@@ -184,6 +202,15 @@ type BatchStats struct {
 	RPCCalls       uint64
 	RowsPrefetched uint64
 	RowsMissed     uint64
+	// AmendWorkers is the per-pass amendment fan width this batch ran
+	// with (the pool divided across the woken registrations; 1 = the
+	// sequential drain). Logged so an adaptive phase-shape policy can
+	// correlate the decision with the observed amend_fan latency.
+	AmendWorkers int
+	// Overlapped records that phase 1 of this batch ran ahead of time,
+	// overlapped with the previous batch's amendment fan by the
+	// pipelined ApplyBatch queue (see Pipeline).
+	Overlapped bool
 }
 
 // ErrUnknownPattern reports an id that is not (or no longer) registered.
@@ -216,6 +243,20 @@ type registration struct {
 type Hub struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+
+	// The pipelined-preview plane (see pipeline.go). gmu guards the data
+	// graph between the single writer (phase 2, write-locked) and the
+	// lock-free preview readers that compute the NEXT batch's pre-state
+	// balls while this batch's amendment fan still runs. writeGen
+	// versions everything a preview depends on — it advances after every
+	// graph mutation and every horizon widening, and a preview whose
+	// recorded generation no longer matches at apply time is discarded.
+	// horizonNow mirrors the engine's current horizon for lock-free
+	// preview reads (the engine's own field is unsynchronised).
+	gmu        sync.RWMutex
+	writeGen   atomic.Uint64
+	horizonNow atomic.Int64
+	pipe       *Pipeline
 
 	g     *graph.Graph
 	eng   shortest.DistanceEngine
@@ -265,11 +306,30 @@ func New(g *graph.Graph, cfg Config) (h *Hub, err error) {
 		ShardAddrs:      cfg.Shards,
 		SpareShardAddrs: cfg.SpareShards,
 		FailoverRetries: cfg.FailoverRetries,
+		OpChunk:         cfg.OpChunk,
 		Metrics:         cfg.Metrics,
 	})
+	h.horizonNow.Store(int64(cfg.Horizon))
+	if cfg.Pipeline {
+		h.pipe = NewPipeline(h)
+	}
 	defer partition.RecoverSubstrateLoss(&err)
 	h.eng.Build()
 	return h, nil
+}
+
+// ensureHorizonLocked widens the substrate horizon through the engine
+// while keeping the hub's lock-free mirror (horizonNow) and the preview
+// generation in lockstep: widening changes every conservative ball's
+// radius, so any in-flight preview must be invalidated. Called with
+// h.mu held.
+func (h *Hub) ensureHorizonLocked(k int) {
+	cur := h.horizonNow.Load()
+	if cur != 0 && int64(k) > cur {
+		h.horizonNow.Store(int64(k))
+		defer h.writeGen.Add(1)
+	}
+	h.eng.EnsureHorizon(k)
 }
 
 // fail records the first substrate loss, wakes every parked long-poll,
@@ -374,7 +434,7 @@ func (h *Hub) readFailover(fn func()) {
 
 func (h *Hub) registerLocked(p *pattern.Graph) PatternID {
 	if b := p.MaxFiniteBound(); b > 0 {
-		h.eng.EnsureHorizon(b)
+		h.ensureHorizonLocked(b)
 	}
 	id := h.next
 	h.next++
@@ -699,7 +759,25 @@ func (h *Hub) span(tr *obs.Trace, name string, start time.Time) {
 // matches, so every further call fails with the same error and parked
 // long-polls are woken with it. Front ends drain and restart into a
 // fresh build.
-func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
+func (h *Hub) ApplyBatch(b Batch) ([]Delta, BatchStats, error) {
+	if h.pipe != nil {
+		// Pipelined hubs route every batch through the queue so that
+		// concurrently posted batches overlap (each caller still blocks
+		// for its own batch's result, preserving the synchronous
+		// contract).
+		return h.pipe.Submit(b).Wait()
+	}
+	return h.applyBatch(b, nil, func() {})
+}
+
+// applyBatch is ApplyBatch's body. ov, when non-nil, carries the next
+// batch's overlap preview (adopted only if its generation still
+// matches); phase2Done is invoked once the graph mutation of phase 2 is
+// complete — the pipeline's signal that the NEXT batch's preview may
+// start reading the graph. It is NOT invoked on paths that never reach
+// phase 2 (validation errors); the pipeline releases those waiters
+// itself after applyBatch returns.
+func (h *Hub) applyBatch(b Batch, ov *overlap, phase2Done func()) (ds []Delta, st BatchStats, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.lost != nil {
@@ -816,9 +894,11 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	}
 
 	// Single writer: widen the horizon before any concurrent phase asks
-	// about incoming bounds (EnsureHorizon rebuilds substrate state).
+	// about incoming bounds (EnsureHorizon rebuilds substrate state; the
+	// widening also invalidates any in-flight pipeline preview, whose
+	// balls were taken at the old radius).
 	if maxBound > 0 {
-		h.eng.EnsureHorizon(maxBound)
+		h.ensureHorizonLocked(maxBound)
 	}
 
 	// Phase 1 — DER-I per pattern against the frozen pre-batch epoch.
@@ -850,12 +930,38 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	// Phase 2 — the single writer advances the epoch: one structural
 	// application, one substrate reconciliation, one change log —
 	// regardless of how many patterns are standing.
+	// Adopt the overlap preview only when provably current: its
+	// generation must match — no graph mutation and no horizon widening
+	// (our own maxBound widening above included) since the balls were
+	// taken. A stale preview is silently dropped and phase 1 runs
+	// normally; results are identical either way.
+	overlapped := ov != nil && len(ov.pre) == len(b.D) && ov.gen == h.writeGen.Load()
+	if overlapped {
+		h.obs.Histogram("gpnm_batch_phase_seconds", "phase", "pre_overlap").Observe(ov.wall)
+		tr.AddSpan("pre_overlap", ov.wall)
+		h.obs.Counter("gpnm_hub_overlapped_total").Inc()
+	}
+
 	slenStart := time.Now()
 	var affSets []nodeset.Set
 	var changeLog nodeset.Set
+	// The write lock pairs with the preview readers of pipeline.go: a
+	// straggling preview finishes against the pre-batch state before the
+	// mutation starts (and is then discarded by the generation bump); a
+	// late one blocks here and reads the post-batch state. The bump
+	// happens after the unlock so no preview can record the new
+	// generation against pre-mutation reads.
+	h.gmu.Lock()
 	if pe, ok := h.eng.(*partition.Engine); ok {
-		affSets, changeLog, err = pe.ApplyDataBatch(b.D, h.g)
+		var pre []nodeset.Set
+		if overlapped {
+			pre = ov.pre
+		}
+		affSets, changeLog, err = pe.ApplyDataBatchPre(b.D, h.g, pre)
 		if err != nil {
+			h.gmu.Unlock()
+			h.writeGen.Add(1)
+			phase2Done()
 			return nil, BatchStats{}, err
 		}
 	} else {
@@ -867,6 +973,11 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		}
 		changeLog = log.Set()
 	}
+	h.gmu.Unlock()
+	h.writeGen.Add(1)
+	// The graph now holds the post-batch state every later phase reads:
+	// the next batch's preview may start.
+	phase2Done()
 	slen := time.Since(slenStart)
 	h.span(tr, "slen_sync", slenStart)
 
@@ -935,6 +1046,18 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	// The Aff infos are batch-constant (ehtree.Build copies what it
 	// keeps), so every pattern's pass shares one slice.
 	affInfos := elim.AffSetsFromApplication(b.D, affSets)
+	// Phase-shape decision: the pool splits between the per-pattern fan
+	// and each pass's internal amendment parallelism. A wide wake (many
+	// patterns) saturates the outer fan, so passes drain sequentially;
+	// a narrow wake hands the idle workers to the passes themselves.
+	// The chosen width is logged per batch (BatchStats.AmendWorkers,
+	// gpnm_hub_amend_workers) so a future adaptive policy has the data.
+	amendWorkers := 1
+	if len(wokenIdx) > 0 {
+		if amendWorkers = workers / len(wokenIdx); amendWorkers < 1 {
+			amendWorkers = 1
+		}
+	}
 	h.readFailover(func() {
 		partition.ForEach(workers, len(wokenIdx), func(k int) {
 			i := wokenIdx[k]
@@ -948,7 +1071,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 				updates.ApplyPatternBatch(ups, newP)
 			}
 
-			pass := core.RunUAPass(r.match, newP, h.g, h.eng, affInfos, canInfos[i], changeLog)
+			pass := core.RunUAPass(r.match, newP, h.g, h.eng, affInfos, canInfos[i], changeLog, amendWorkers)
 
 			deltas[i] = Delta{Pattern: r.id, Seq: seq, Nodes: simulation.Delta(r.match, pass.Match)}
 			outs[i] = patternPass{p: newP, match: pass.Match, stats: core.QueryStats{
@@ -998,6 +1121,8 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 		RPCCalls:       rpc1.calls - rpc0.calls,
 		RowsPrefetched: rpc1.prefetched - rpc0.prefetched,
 		RowsMissed:     rpc1.missed - rpc0.missed,
+		AmendWorkers:   amendWorkers,
+		Overlapped:     overlapped,
 	}
 	h.obs.Counter("gpnm_hub_woken_total").Add(uint64(h.last.Woken))
 	h.obs.Counter("gpnm_hub_skipped_total").Add(uint64(h.last.Skipped))
@@ -1006,6 +1131,7 @@ func (h *Hub) ApplyBatch(b Batch) (ds []Delta, st BatchStats, err error) {
 	}
 	h.obs.Gauge("gpnm_hub_seq").Set(int64(seq))
 	h.obs.Gauge("gpnm_hub_patterns").Set(int64(len(regs)))
+	h.obs.Gauge("gpnm_hub_amend_workers").Set(int64(amendWorkers))
 	tr.Seq = seq
 	tr.DataUpdates = len(b.D)
 	tr.Patterns = len(regs)

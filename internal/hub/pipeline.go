@@ -1,0 +1,164 @@
+package hub
+
+import (
+	"sync"
+	"time"
+
+	"uagpnm/internal/nodeset"
+	"uagpnm/internal/partition"
+	"uagpnm/internal/shard"
+	"uagpnm/internal/shortest"
+	"uagpnm/internal/updates"
+)
+
+// The pipelined ApplyBatch queue: phase overlap between consecutive
+// batches under the hub's single-writer discipline.
+//
+// A batch's wall time is dominated by two fans — the substrate
+// synchronisation (phase 2) and the per-pattern amendment (phase 3/4) —
+// but its FIRST phase, the pre-state conservative balls of the
+// deletions, depends only on the data graph, which freezes the moment
+// the PREVIOUS batch's structural application ends. So when batch k+1
+// is already queued while batch k is still amending patterns, k+1's
+// pre-balls can be computed concurrently, off the critical path, and
+// adopted by ApplyDataBatchPre when k+1's turn comes.
+//
+// What keeps it exact:
+//
+//   - Previews read the graph under h.gmu.RLock, paired with the write
+//     lock phase 2 takes around its mutation — a preview never observes
+//     a half-applied batch.
+//   - Every preview records h.writeGen, which advances after every
+//     graph mutation and horizon widening. At apply time the preview is
+//     adopted only if the generation still matches; anything — an
+//     interleaved non-pipelined batch, a Register that widened the
+//     horizon, the queued batch's own incoming pattern bounds — bumps
+//     the generation and the preview is recomputed the lock-step way.
+//     Discarding is always correct: the preview is an optimisation of
+//     phase 1, never a semantic change.
+//   - The balls themselves are computed by the same functions phase 1
+//     uses (shard.EdgeAffected / shard.NodeAffected over the
+//     coordinator's graph — the remote /affected fan runs exactly these
+//     against identical replicas), with the same existence guards, so
+//     an adopted preview is bit-for-bit what phase 1 would produce.
+//
+// Tickets apply strictly in submission order; Submit never blocks on
+// the apply itself, Wait does.
+
+// Ticket is one queued batch's handle: Wait blocks until the batch has
+// been applied and returns exactly what ApplyBatch would have.
+type Ticket struct {
+	b      Batch
+	phase2 chan struct{} // closed when the batch's graph mutation is done (or abandoned)
+	done   chan struct{} // closed when the batch is fully applied
+
+	ds  []Delta
+	st  BatchStats
+	err error
+}
+
+// Wait blocks until the ticket's batch has been applied.
+func (t *Ticket) Wait() ([]Delta, BatchStats, error) {
+	<-t.done
+	//lint:allow defensivecopy the slice is applyBatch's return value produced for this ticket's caller, not retained hub state; Wait just relays it
+	return t.ds, t.st, t.err
+}
+
+// overlap is one computed preview: the deletions' pre-state balls,
+// versioned by the write generation they were taken at.
+type overlap struct {
+	pre  []nodeset.Set // aligned with the batch's D; deletion kinds only
+	gen  uint64
+	wall time.Duration
+}
+
+// Pipeline orders batches for one hub and overlaps each batch's preview
+// with its predecessor's tail phases. Safe for concurrent use; batches
+// apply in Submit order.
+type Pipeline struct {
+	h    *Hub
+	mu   sync.Mutex
+	tail *Ticket // most recently submitted (nil before the first)
+}
+
+// NewPipeline returns a pipeline over h. A hub built with
+// Config.Pipeline already routes ApplyBatch through its own; extra
+// pipelines compose with it safely (tickets of different pipelines
+// serialise on the hub lock like any two ApplyBatch callers — only the
+// preview overlap is per-pipeline).
+func NewPipeline(h *Hub) *Pipeline { return &Pipeline{h: h} }
+
+// Submit enqueues b behind every previously submitted batch and returns
+// immediately. While the predecessor is amending patterns, b's
+// pre-state deletion balls are computed concurrently; b then applies
+// with them (if still current) as soon as the predecessor finishes.
+func (pl *Pipeline) Submit(b Batch) *Ticket {
+	t := &Ticket{b: b, phase2: make(chan struct{}), done: make(chan struct{})}
+	pl.mu.Lock()
+	prev := pl.tail
+	pl.tail = t
+	pl.mu.Unlock()
+
+	go func() {
+		defer close(t.done)
+		var ov *overlap
+		if prev != nil {
+			// The graph reaches this batch's pre-state when the
+			// predecessor's mutation completes; preview in the window
+			// where its amendment fan still runs. done covers the paths
+			// that never reach phase 2 (validation errors).
+			select {
+			case <-prev.phase2:
+			case <-prev.done:
+			}
+			ov = pl.h.previewBatch(t.b)
+			<-prev.done
+		}
+		signal := sync.OnceFunc(func() { close(t.phase2) })
+		t.ds, t.st, t.err = pl.h.applyBatch(t.b, ov, signal)
+		signal() // release the successor even if phase 2 was never reached
+	}()
+	return t
+}
+
+// previewBatch computes b's overlap preview against the current graph
+// state: the pre-state conservative balls of its data deletions, with
+// the same existence guards phase 1 applies. Returns nil when there is
+// nothing to hoist (no deletions, or a non-partition substrate, whose
+// phase 1+2 are fused per update). Runs WITHOUT the hub lock — that is
+// the point — holding gmu.RLock against the phase-2 writer.
+func (h *Hub) previewBatch(b Batch) *overlap {
+	if _, ok := h.eng.(*partition.Engine); !ok || len(b.D) == 0 {
+		return nil
+	}
+	hasDel := false
+	for _, u := range b.D {
+		if u.Kind == updates.DataEdgeDelete || u.Kind == updates.DataNodeDelete {
+			hasDel = true
+			break
+		}
+	}
+	if !hasDel {
+		return nil
+	}
+	start := time.Now()
+	h.gmu.RLock()
+	defer h.gmu.RUnlock()
+	gen := h.writeGen.Load()
+	horizon := int(h.horizonNow.Load())
+	gb := shortest.NewGraphBall()
+	pre := make([]nodeset.Set, len(b.D))
+	for i, u := range b.D {
+		switch u.Kind {
+		case updates.DataEdgeDelete:
+			if h.g.HasEdge(u.From, u.To) {
+				pre[i] = shard.EdgeAffected(gb, h.g, u.From, u.To, horizon)
+			}
+		case updates.DataNodeDelete:
+			if h.g.Alive(u.Node) {
+				pre[i] = shard.NodeAffected(gb, h.g, u.Node, h.g.Out(u.Node), h.g.In(u.Node), horizon)
+			}
+		}
+	}
+	return &overlap{pre: pre, gen: gen, wall: time.Since(start)}
+}

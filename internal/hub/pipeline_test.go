@@ -1,0 +1,134 @@
+package hub
+
+import (
+	"testing"
+
+	"uagpnm/internal/core"
+	"uagpnm/internal/simulation"
+	"uagpnm/internal/updates"
+)
+
+// TestHubPipelinedDifferential drives the pipelined hub with a whole
+// update script submitted back-to-back — every batch enqueued before
+// the first finishes, so the preview of batch k+1 genuinely runs inside
+// batch k's amendment window — and requires the final per-pattern
+// results to equal both a lock-step hub and independent Scratch
+// sessions fed the identical script. Run under -race: the suite is
+// what proves the gmu/writeGen protocol (previews reading the graph
+// against the phase-2 writer).
+func TestHubPipelinedDifferential(t *testing.T) {
+	const k, rounds = 4, 6
+	for _, workers := range []int{1, 4} {
+		seed := int64(61000 + workers)
+		g, ps := randomInstance(seed, 45, 120, k)
+
+		// Pre-generate the whole script against an evolving clone so
+		// every batch can be submitted before any of them applies.
+		gen := core.NewSession(g.Clone(), ps[0].Clone(),
+			core.Config{Method: core.Scratch, Horizon: 3})
+		script := make([][]updates.Update, rounds)
+		for r := range script {
+			b := updates.Generate(updates.Balanced(seed*31+int64(r), 0, 12), gen.G, ps[0])
+			script[r] = b.D
+			gen.SQuery(updates.Batch{D: b.D})
+		}
+
+		hp := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers, Pipeline: true})
+		hl := mustHub(t, g.Clone(), Config{Horizon: 3, Workers: workers})
+		idsP := make([]PatternID, k)
+		idsL := make([]PatternID, k)
+		sessions := make([]*core.Session, k)
+		for i, p := range ps {
+			idsP[i] = mustRegister(t, hp, p.Clone())
+			idsL[i] = mustRegister(t, hl, p.Clone())
+			sessions[i] = core.NewSession(g.Clone(), p.Clone(),
+				core.Config{Method: core.Scratch, Horizon: 3})
+		}
+
+		// The whole script in flight at once: this is the overlap the
+		// ApplyBatch wrapper (Submit+Wait per call) never exhibits.
+		tickets := make([]*Ticket, rounds)
+		for r, d := range script {
+			tickets[r] = hp.pipe.Submit(Batch{D: d})
+		}
+		overlapped := 0
+		for r, tk := range tickets {
+			_, st, err := tk.Wait()
+			if err != nil {
+				t.Fatalf("workers=%d round=%d: pipelined batch failed: %v", workers, r, err)
+			}
+			if st.Overlapped {
+				overlapped++
+			}
+			if r == 0 && st.Overlapped {
+				t.Fatalf("workers=%d: first batch cannot be overlapped", workers)
+			}
+		}
+		if overlapped == 0 {
+			t.Fatalf("workers=%d: no batch adopted its preview across %d back-to-back rounds", workers, rounds)
+		}
+		for _, d := range script {
+			if _, _, err := hl.ApplyBatch(Batch{D: d}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range ps {
+			var want *simulation.Match
+			for _, d := range script {
+				want = sessions[i].SQuery(updates.Batch{D: d})
+			}
+			gotP, ok := hp.Match(idsP[i])
+			if !ok {
+				t.Fatalf("pattern %d vanished from pipelined hub", i)
+			}
+			gotL, _ := hl.Match(idsL[i])
+			if !gotP.Equal(want) {
+				t.Fatalf("workers=%d pattern=%d: pipelined hub diverges from Scratch", workers, i)
+			}
+			if !gotP.Equal(gotL) {
+				t.Fatalf("workers=%d pattern=%d: pipelined hub diverges from lock-step hub", workers, i)
+			}
+		}
+		if hp.Seq() != uint64(rounds) {
+			t.Fatalf("workers=%d: pipelined hub Seq = %d, want %d", workers, hp.Seq(), rounds)
+		}
+	}
+}
+
+// TestHubPipelineErrorRelease proves a rejected batch cannot wedge the
+// queue: its ticket reports the validation error, and the batches
+// submitted behind it (whose previews were waiting on its phase-2
+// signal that never fires) still apply.
+func TestHubPipelineErrorRelease(t *testing.T) {
+	g := lineGraph()
+	h := mustHub(t, g, Config{Horizon: 3, Workers: 2, Pipeline: true})
+	id := mustRegister(t, h, abPattern(g))
+
+	good1 := h.pipe.Submit(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeInsert, From: 2, To: 1}}})
+	bad := h.pipe.Submit(Batch{D: []updates.Update{
+		{Kind: updates.PatternEdgeDelete, From: 0, To: 1}}})
+	good2 := h.pipe.Submit(Batch{D: []updates.Update{
+		{Kind: updates.DataEdgeDelete, From: 2, To: 1}}})
+
+	if _, _, err := good1.Wait(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	if _, _, err := bad.Wait(); err == nil {
+		t.Fatal("pattern update on the data side must error through the pipeline")
+	}
+	if _, _, err := good2.Wait(); err != nil {
+		t.Fatalf("batch behind the rejected one: %v", err)
+	}
+	// Net effect: insert then delete of 2→1; node 2 must not match u0.
+	got, _ := h.Match(id)
+	if got.Nodes(0).Contains(2) {
+		t.Fatal("state after pipeline error does not reflect the applied batches")
+	}
+	if h.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2 (rejected batch must not advance the epoch)", h.Seq())
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("hub poisoned by validation error: %v", err)
+	}
+}

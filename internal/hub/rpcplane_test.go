@@ -88,4 +88,11 @@ func TestBulkRowsCallsPerBatchBounded(t *testing.T) {
 	if rpcs == 0 {
 		t.Fatal("BatchStats.RPCCalls stayed 0 on a sharded hub")
 	}
+	// The merged op-flush plan (bridge rows of touched partitions +
+	// source rows of op endpoints) overlaps whenever an endpoint IS a
+	// bridge node; those copies must be dropped before the wire, and the
+	// scorecard counter must show it happened on a batch of this shape.
+	if deduped := reg.Counter("gpnm_rpc_rows_deduped_total").Value(); deduped == 0 {
+		t.Fatal("gpnm_rpc_rows_deduped_total = 0: bulk plans shipped duplicate row requests")
+	}
 }

@@ -1,0 +1,48 @@
+package nodeset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Atomic access to a Bits for the parallel removal fixpoint
+// (internal/simulation): during a concurrent phase every cross-goroutine
+// word access must go through these — distinct ids share words, so even
+// a "single-owner" bit flip is a read-modify-write race against its
+// word-mates without the atomics. The incremental population count
+// cannot be maintained under concurrent removal; the atomic mutators
+// skip it, and the phase must call Recount on every touched set after
+// its workers have joined, before Len/Empty/Set are trusted again.
+
+// AtomicContains reports whether id is set, reading the word atomically.
+// Ids beyond capacity are absent. Safe to call concurrently with
+// AtomicRemove on the same set.
+func (b *Bits) AtomicContains(id ID) bool {
+	w := int(id >> 6)
+	if w >= len(b.words) {
+		return false
+	}
+	return atomic.LoadUint64(&b.words[w])&(1<<(id&63)) != 0
+}
+
+// AtomicRemove clears id with an atomic read-modify-write and reports
+// whether the bit was previously set. It does NOT maintain Len — call
+// Recount once the concurrent phase has joined.
+func (b *Bits) AtomicRemove(id ID) bool {
+	w := int(id >> 6)
+	if w >= len(b.words) {
+		return false
+	}
+	mask := uint64(1) << (id & 63)
+	return atomic.AndUint64(&b.words[w], ^mask)&mask != 0
+}
+
+// Recount recomputes the population count from the words, restoring the
+// Len invariant after a phase of atomic mutations.
+func (b *Bits) Recount() {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	b.n = n
+}

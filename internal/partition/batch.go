@@ -31,8 +31,10 @@ import (
 // structural phase (2) is order-dependent: the coordinator applies
 // every update to its own structures serially, handing in-process
 // shards their ops one by one (preserving the monolith's exact
-// interleaving) and streaming remote shards the whole ordered op list
-// in one RPC each. The overlay reconciliation (3) parallelises
+// interleaving) and streaming remote shards the ordered op log in
+// epoch-fenced chunks that flush in the background while staging
+// continues, joining at the end of the phase (see stream.go). The
+// overlay reconciliation (3) parallelises
 // internally. Finally the stitched rows of the change log — exactly
 // the rows the subsequent amendment pass queries — are pre-warmed
 // across the pool.
@@ -53,6 +55,19 @@ import (
 // graph and the intra state may then disagree about which prefix of
 // the batch applied. Callers of a poisoned engine drain and rebuild.
 func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate []nodeset.Set, changeLog nodeset.Set, err error) {
+	return e.ApplyDataBatchPre(ds, g, nil)
+}
+
+// ApplyDataBatchPre is ApplyDataBatch with phase 1 optionally hoisted
+// out: pre, when aligned with ds, carries the deletions' pre-state
+// conservative balls already computed against exactly this graph state
+// (the pipelined hub overlaps that computation with the previous
+// batch's amendment fan — see hub.Pipeline). The balls are adopted
+// verbatim in place of the phase-1 fan; the caller vouches that the
+// graph has not changed since they were taken and that the same
+// existence guards were applied. A nil or misaligned pre runs phase 1
+// normally.
+func (e *Engine) ApplyDataBatchPre(ds []updates.Update, g *graph.Graph, pre []nodeset.Set) (perUpdate []nodeset.Set, changeLog nodeset.Set, err error) {
 	if lossErr := e.Err(); lossErr != nil {
 		return nil, nil, lossErr
 	}
@@ -63,9 +78,16 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 
 	// Phase 1: pre-state balls for deletions (nothing applied yet).
 	phaseStart := time.Now()
-	if e.remote {
+	switch {
+	case pre != nil && len(pre) == len(ds):
+		for i, u := range ds {
+			if u.Kind == updates.DataEdgeDelete || u.Kind == updates.DataNodeDelete {
+				perUpdate[i] = pre[i]
+			}
+		}
+	case e.remote:
 		e.withFailover(nil, func() { e.remoteAffected(ds, g, false, nil, perUpdate) })
-	} else {
+	default:
 		parallelFor(e.workers, len(ds), func(i int) {
 			switch u := ds[i]; u.Kind {
 			case updates.DataEdgeDelete:
@@ -84,17 +106,22 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 
 	// Phase 2: structural application in update order; the overlay is
 	// left stale, accumulating dirty anchors. In-process shards apply
-	// each op as it is staged; for remote shards the ordered op list is
-	// flushed once at the end (their affected sets settle into dirty
-	// afterwards — a superset of the per-op translation, since every
-	// bridge-status change already dirties its endpoints directly).
+	// each op as it is staged; remote shards receive the ordered op log
+	// as an epoch-fenced chunk stream that flushes in the background
+	// while staging continues, joining (and settling the shard-side
+	// affected sets into dirty — a superset of the per-op translation,
+	// since every bridge-status change already dirties its endpoints
+	// directly) at the end of the phase. See stream.go.
 	phaseStart = time.Now()
 	var dirty nodeset.Builder
 	applied := make([]bool, len(ds))
-	var pending []shard.Op
+	var stream *opStreamer
+	if e.remote {
+		stream = e.newOpStreamer()
+	}
 	stage := func(op shard.Op) {
-		if e.remote {
-			pending = append(pending, op)
+		if stream != nil {
+			stream.stage(op)
 			return
 		}
 		e.applyOps([]shard.Op{op}, &dirty)
@@ -128,8 +155,8 @@ func (e *Engine) ApplyDataBatch(ds []updates.Update, g *graph.Graph) (perUpdate 
 			panic("partition: ApplyDataBatch on pattern update " + u.String())
 		}
 	}
-	if e.remote {
-		e.applyOps(pending, &dirty)
+	if stream != nil {
+		stream.finish(&dirty)
 	}
 	e.span("oplog_flush", phaseStart)
 

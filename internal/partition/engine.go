@@ -75,6 +75,7 @@ type Engine struct {
 	stitched       bool // assemble cached rows via §V stitching
 	workers        int  // worker pool bound (1 = serial)
 	nLocal         int  // WithLocalShards count (0 = one)
+	opChunk        int  // ops per streamed /ops chunk (≤ 0 = single end-of-phase flush)
 
 	// shards host the per-partition intra engines; shardOf maps a
 	// partition index to its owning shard (round-robin over the alive
@@ -322,6 +323,15 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
+// WithOpChunk sets how many staged ops the batch's phase 2 accumulates
+// before streaming them to the remote shards as one fenced /ops chunk,
+// overlapping shard-side application with the coordinator's continued
+// staging (see stream.go). n ≤ 0 disables streaming: the whole ordered
+// op list flushes in a single end-of-phase RPC per shard, the pre-stream
+// shape. The default is DefaultOpChunk. In-process fleets ignore it
+// (their ops apply synchronously as they are staged).
+func WithOpChunk(n int) Option { return func(e *Engine) { e.opChunk = n } }
+
 // WithFailoverRetries bounds how many distinct shard losses one
 // failover boundary — a data batch's phases, a build, a horizon
 // widening, one WithReadFailover fan — may absorb before the engine
@@ -348,7 +358,7 @@ func WithFailoverRetries(n int) Option {
 // intra rows constantly, and hybrid rows cost O(ball) per scan where
 // dense rows cost O(|Pi|).
 func NewEngine(g *graph.Graph, horizon int, opts ...Option) *Engine {
-	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8, failoverRetries: 1, metrics: obs.Default}
+	e := &Engine{horizon: horizon, denseThreshold: 0, ellWidth: 8, failoverRetries: 1, opChunk: DefaultOpChunk, metrics: obs.Default}
 	for _, o := range opts {
 		o(e)
 	}
@@ -1043,28 +1053,33 @@ func (e *Engine) applyOps(ops []shard.Op, dirty *nodeset.Builder) {
 		return
 	}
 	epoch := e.nextOpEpoch()
-	e.withFailover(dirty, func() { e.flushOps(epoch, ops, dirty) })
+	// The warm demand is planned inside the failover boundary: a retry
+	// after recovery re-plans against the repaired shard assignment.
+	e.withFailover(dirty, func() { e.flushOps(epoch, ops, e.opsRowDemand(ops), dirty) })
 }
 
-// flushOps streams one epoch's ops to every alive remote shard and
+// flushOps sends one epoch's ops to every alive remote shard and
 // settles the returned affected sets into dirty. Settling is idempotent
 // (dirty has set semantics), so a failover retry of the same epoch is
 // safe; ops whose owning slot is dead settle nothing — the recovery
 // compensates by dirtying the reassigned partitions' bridge anchors
 // conservatively.
 //
-// Each flush piggybacks its warm row demand — the bridge rows the
-// overlay reconciliation right after it will read — on the same RPC,
-// so the flush response refills exactly the rows the flush invalidated.
-// The demand is planned here, inside the failover boundary: a retry
-// after recovery re-plans against the repaired shard assignment.
-func (e *Engine) flushOps(epoch uint64, ops []shard.Op, dirty *nodeset.Builder) {
+// warm is the row demand piggybacked on the RPC — the bridge and
+// source rows the phases right after the flush will read, so the flush
+// response refills exactly the rows it invalidated. The op-log streamer
+// passes nil for intermediate chunks (their rows would be invalidated
+// again by the next chunk) and the full batch demand on the final one.
+func (e *Engine) flushOps(epoch uint64, ops []shard.Op, warm [][]shard.RowReq, dirty *nodeset.Builder) {
 	affs := make([][][]uint32, len(e.shards))
-	warm := e.opsRowDemand(ops)
 	alive := e.aliveIndices()
 	parallelFor(len(alive), len(alive), func(k int) {
 		s := alive[k]
-		aff, err := e.shards[s].ApplyOps(epoch, ops, warm[s])
+		var w []shard.RowReq
+		if s < len(warm) {
+			w = warm[s]
+		}
+		aff, err := e.shards[s].ApplyOps(epoch, ops, w)
 		if err != nil {
 			e.shardFail(s, err)
 		}

@@ -11,6 +11,7 @@ package partition_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -164,7 +165,14 @@ func newFailoverFixture(t *testing.T, seed int64, workers int, opts ...partition
 // equality.
 func (fx *failoverFixture) round(t *testing.T, label string) {
 	t.Helper()
-	b := updates.Batch{D: mixedBatch(fx.ref.G, fx.rng, 3, 3)}
+	fx.roundN(t, label, 3, 3)
+}
+
+// roundN is round with a caller-chosen batch shape (the op-stream tests
+// need enough ops to seal several chunks).
+func (fx *failoverFixture) roundN(t *testing.T, label string, nDel, nIns int) {
+	t.Helper()
+	b := updates.Batch{D: mixedBatch(fx.ref.G, fx.rng, nDel, nIns)}
 	want := fx.ref.SQuery(b)
 	got := fx.sess.SQuery(b)
 	if !got.Equal(want) {
@@ -219,6 +227,42 @@ func TestFailoverKillDuringPhases(t *testing.T) {
 				if got := fx.eng.Recovered(); got != 1 {
 					t.Fatalf("Recovered() after healthy rounds = %d, want still 1", got)
 				}
+			})
+		}
+	}
+}
+
+// TestFailoverKillMidOpStream arms the kill under a chunked op stream:
+// with WithOpChunk(2) a ten-op batch seals five fenced chunks that
+// flush in the background while staging continues, and the victim dies
+// on its k+1-th /ops — the first chunk, a middle one, the last one.
+// The streamer must record the fault off the flusher goroutine, stall
+// the remaining chunks, repair at the phase join and re-flush — with
+// the epoch fence keeping the survivor (which already applied some
+// chunks) and the rebuilt assignment (whose snapshots contain them
+// all) from double-applying. Results stay bit-for-bit Scratch-equal.
+func TestFailoverKillMidOpStream(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for ci, chunkIdx := range []int{0, 2, 4} {
+			chunkIdx := chunkIdx
+			t.Run(fmt.Sprintf("workers%d-chunk%d", workers, chunkIdx), func(t *testing.T) {
+				fx := newFailoverFixture(t, int64(7900+ci), workers, partition.WithOpChunk(2))
+				fx.roundN(t, "healthy warm-up", 5, 5)
+
+				// The victim serves one /ops per sealed chunk; skip
+				// counts straight through them.
+				fx.victim.arm("/ops", chunkIdx)
+				fx.roundN(t, "kill mid-stream", 5, 5)
+				if !fx.victim.dead.Load() {
+					t.Fatal("trigger never fired: the stream sealed fewer chunks than expected")
+				}
+				if got := fx.eng.Recovered(); got != 1 {
+					t.Fatalf("Recovered() = %d, want 1", got)
+				}
+				if fx.eng.Err() != nil {
+					t.Fatalf("engine poisoned despite recovery: %v", fx.eng.Err())
+				}
+				fx.roundN(t, "post-recovery round", 5, 5)
 			})
 		}
 	}

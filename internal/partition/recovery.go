@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"uagpnm/internal/nodeset"
+	"uagpnm/internal/shard"
 )
 
 // This file is the failover controller of the sharded §V substrate:
@@ -72,6 +73,56 @@ func (e *Engine) WithReadFailover(fn func()) {
 	e.withFailover(nil, fn)
 }
 
+// ShardProbe is a snapshot of one alive shard slot, taken for an
+// off-path health probe: the slot index plus the exact client serving
+// it at snapshot time, so a later repair can tell whether the probe
+// still describes the fleet.
+type ShardProbe struct {
+	Idx   int
+	Shard shard.Shard
+}
+
+// ShardProbes snapshots the alive shard slots of a remote fleet. The
+// caller must hold exclusive access to the engine for the call itself
+// (the shard table is edited during recovery), but the returned probes
+// are safe to Ping WITHOUT it — shard clients are concurrency-safe, and
+// the worst a racing recovery can do is Close one, which just makes the
+// ping fail against a slot SweepRepair will then recognise as already
+// handled. Returns nil for in-process fleets and poisoned engines:
+// neither has anything to sweep.
+func (e *Engine) ShardProbes() []ShardProbe {
+	if !e.remote || e.Err() != nil {
+		return nil
+	}
+	alive := e.aliveIndices()
+	ps := make([]ShardProbe, 0, len(alive))
+	for _, i := range alive {
+		ps = append(ps, ShardProbe{Idx: i, Shard: e.shards[i]})
+	}
+	return ps
+}
+
+// SweepRepair repairs the fleet after an off-path probe of p failed
+// with pingErr, using the same quarantine/promote/reassign/rebuild
+// sequence a mid-batch fault triggers — just discovered between batches
+// instead of by the next batch's first RPC. The caller must hold
+// exclusive access to the engine. A probe overtaken by an interleaved
+// recovery — the slot already quarantined, or serving a different
+// client than the one probed — is skipped (reported false): the fleet
+// the probe described no longer exists. No overlay compensation is
+// needed (nothing was in flight), matching read-phase recoveries. On
+// unrecoverable loss the engine poisons exactly as a mid-batch fault
+// would; convert with RecoverSubstrateLoss at the caller's boundary.
+func (e *Engine) SweepRepair(p ShardProbe, pingErr error) bool {
+	e.ensureUsable()
+	if p.Idx < 0 || p.Idx >= len(e.shards) || !e.shardAlive[p.Idx] || e.shards[p.Idx] != p.Shard {
+		return false
+	}
+	e.resetFailoverBudget()
+	e.recoverFault(&shardFault{idx: p.Idx, err: pingErr}, nil)
+	return true
+}
+
 // runRecoverable executes one failover-protected phase, converting a
 // repairable *shardFault panic into a return value. Any other panic —
 // including the sticky poison — is re-raised.
@@ -111,23 +162,34 @@ func (e *Engine) withFailover(dirty *nodeset.Builder, phase func()) {
 		if f == nil {
 			return
 		}
-		if e.recoveryBudget <= 0 {
-			e.poison(f.err)
-		}
-		e.recoveryBudget--
-		e.recoveringFlag.Store(true)
-		e.metrics.Counter("gpnm_recovery_retries_total").Inc()
-		recoveryStart := time.Now()
-		err := e.recoverShards(f, dirty)
-		e.span("recovery", recoveryStart)
-		e.recoveringFlag.Store(false)
-		if err != nil {
-			// Keep the original transport error in the chain: callers
-			// assert errors.As(*shard.TransportError) on terminal losses.
-			e.poison(fmt.Errorf("failover failed (%v): %w", err, f.err))
-		}
-		e.recoveredN.Add(1)
+		e.recoverFault(f, dirty)
 	}
+}
+
+// recoverFault spends one unit of the mutation's failover budget
+// repairing the fleet after fault f, poisoning the engine when the
+// budget is exhausted or the repair itself fails. It is the budgeted
+// core of withFailover, also entered directly by the op-log streamer
+// (whose faults are recorded off the critical path and repaired at the
+// phase join) and the proactive health sweep (which discovers losses
+// between batches instead of by the next batch's first RPC).
+func (e *Engine) recoverFault(f *shardFault, dirty *nodeset.Builder) {
+	if e.recoveryBudget <= 0 {
+		e.poison(f.err)
+	}
+	e.recoveryBudget--
+	e.recoveringFlag.Store(true)
+	e.metrics.Counter("gpnm_recovery_retries_total").Inc()
+	recoveryStart := time.Now()
+	err := e.recoverShards(f, dirty)
+	e.span("recovery", recoveryStart)
+	e.recoveringFlag.Store(false)
+	if err != nil {
+		// Keep the original transport error in the chain: callers
+		// assert errors.As(*shard.TransportError) on terminal losses.
+		e.poison(fmt.Errorf("failover failed (%v): %w", err, f.err))
+	}
+	e.recoveredN.Add(1)
 }
 
 // recoverShards repairs the shard assignment after slot f.idx faulted.

@@ -152,6 +152,38 @@ func (e *Engine) opsRowDemand(ops []shard.Op) [][]shard.RowReq {
 	for s, rs := range e.sourceRowReqs(ends.Set()) {
 		reqs[s] = append(reqs[s], rs...)
 	}
+	return e.dedupeRowReqs(reqs)
+}
+
+// dedupeRowReqs drops repeated row requests from a merged plan, in
+// place. The bridge and source planners overlap exactly when an op
+// endpoint IS a bridge node of a planned partition — its forward (or
+// reverse) row is then demanded twice, and before this pass each copy
+// was serialised, shipped and answered in the bulk RPC. Dropped copies
+// are counted by gpnm_rpc_rows_deduped_total (they remain in
+// gpnm_rows_planned_total: the planners did plan them).
+func (e *Engine) dedupeRowReqs(reqs [][]shard.RowReq) [][]shard.RowReq {
+	duplicates := 0
+	seen := make(map[shard.RowReq]bool)
+	for s, rs := range reqs {
+		if len(rs) < 2 {
+			continue
+		}
+		clear(seen)
+		kept := rs[:0]
+		for _, r := range rs {
+			if seen[r] {
+				duplicates++
+				continue
+			}
+			seen[r] = true
+			kept = append(kept, r)
+		}
+		reqs[s] = kept
+	}
+	if duplicates > 0 {
+		e.metrics.Counter("gpnm_rpc_rows_deduped_total").Add(uint64(duplicates))
+	}
 	return reqs
 }
 

@@ -41,10 +41,11 @@ type Server struct {
 	// Op-stream fence: the highest epoch this worker's state reflects,
 	// with the response it answered for it. A /build adopts the
 	// coordinator's fence (the snapshots already contain those ops); a
-	// re-sent /ops at the fenced epoch answers lastResp — or empty sets
-	// when the epoch was absorbed via a fenced build — instead of
-	// re-applying. That idempotence is what makes the coordinator's
-	// failover retry of an in-flight batch safe.
+	// re-sent /ops at or below the fenced epoch answers lastResp — or
+	// empty sets for an older epoch, or one absorbed via a fenced build
+	// — instead of re-applying. That idempotence is what makes the
+	// coordinator's failover retry of an in-flight batch (and the
+	// chunked op stream's post-repair re-flush) safe.
 	lastEpoch uint64
 	lastResp  *opsResponse
 
@@ -340,8 +341,14 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if req.Epoch < s.lastEpoch {
-			srvutil.WriteError(w, http.StatusConflict,
-				"stale op epoch %d (worker fence at %d)", req.Epoch, s.lastEpoch)
+			// Below the fence entirely: this state already reflects the
+			// epoch. With the chunked op stream a rebuilt worker's fence
+			// (the highest sealed epoch) sits above every stalled chunk
+			// being re-flushed after a mid-stream repair, and only the
+			// latest response is recorded — answer empty sets and let
+			// the coordinator's compensation dirty the rebuilt
+			// partitions' bridge anchors conservatively.
+			respond(opsResponse{Aff: make([][]uint32, len(req.Ops))})
 			return
 		}
 	}

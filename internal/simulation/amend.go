@@ -85,6 +85,53 @@ func boundLooser(a, b pattern.Bound) bool {
 	return a > b
 }
 
+// amendDelta classifies the pattern diff into the node sets Amend's
+// phases consume: rebuild (added or relaxed — full candidate rebuild)
+// and dirtyAll (rebuild plus restricted — every candidate re-enqueued).
+func amendDelta(oldP, newP *pattern.Graph) (rebuild, dirtyAll map[pattern.NodeID]bool) {
+	delta := DiffPatterns(oldP, newP)
+	rebuild = make(map[pattern.NodeID]bool)
+	for _, u := range delta.AddedNodes {
+		rebuild[u] = true
+	}
+	for _, u := range delta.Relaxed {
+		rebuild[u] = true
+	}
+	dirtyAll = make(map[pattern.NodeID]bool, len(rebuild))
+	for u := range rebuild {
+		dirtyAll[u] = true
+	}
+	for _, u := range delta.Restricted {
+		dirtyAll[u] = true
+	}
+	return rebuild, dirtyAll
+}
+
+// labelInterest maps each label to the pattern nodes carrying it — the
+// cascade's filter for which data nodes can matter at all.
+func labelInterest(newP *pattern.Graph) map[graph.LabelID][]pattern.NodeID {
+	wanted := make(map[graph.LabelID][]pattern.NodeID)
+	newP.Nodes(func(u pattern.NodeID) {
+		l := newP.Label(u)
+		wanted[l] = append(wanted[l], u)
+	})
+	return wanted
+}
+
+// maxInBound is the widest effective in-bound of any pattern edge — the
+// cascade radius of Phase A.
+func maxInBound(newP *pattern.Graph, o shortest.Oracle) int {
+	maxIn := 0
+	newP.Nodes(func(u pattern.NodeID) {
+		newP.In(u, func(_ pattern.NodeID, b pattern.Bound) {
+			if k := effectiveBound(b, o); k > maxIn {
+				maxIn = k
+			}
+		})
+	})
+	return maxIn
+}
+
 // Amend repairs old — a match of oldP computed before a batch of updates
 // — into the match of newP over the updated graph g and oracle o. seeds
 // must contain every data node whose shortest-path row or column changed
@@ -104,23 +151,7 @@ func boundLooser(a, b pattern.Bound) bool {
 //
 // The result equals Run(newP, g, o).
 func Amend(old *Match, newP *pattern.Graph, g *graph.Graph, o shortest.Oracle, seeds nodeset.Set) *Match {
-	oldP := old.p
-	delta := DiffPatterns(oldP, newP)
-
-	rebuild := make(map[pattern.NodeID]bool)
-	for _, u := range delta.AddedNodes {
-		rebuild[u] = true
-	}
-	for _, u := range delta.Relaxed {
-		rebuild[u] = true
-	}
-	dirtyAll := make(map[pattern.NodeID]bool, len(rebuild))
-	for u := range rebuild {
-		dirtyAll[u] = true
-	}
-	for _, u := range delta.Restricted {
-		dirtyAll[u] = true
-	}
+	rebuild, dirtyAll := amendDelta(old.p, newP)
 
 	// Phase A: close seeds under support cascades. A node x becomes a
 	// potential newcomer when it lies within some in-bound of an existing
@@ -145,19 +176,8 @@ func Amend(old *Match, newP *pattern.Graph, g *graph.Graph, o shortest.Oracle, s
 	}
 	// Label filter for cascade targets: a node is interesting only if some
 	// pattern node carries its label.
-	wanted := make(map[graph.LabelID][]pattern.NodeID)
-	newP.Nodes(func(u pattern.NodeID) {
-		l := newP.Label(u)
-		wanted[l] = append(wanted[l], u)
-	})
-	maxIn := 0
-	newP.Nodes(func(u pattern.NodeID) {
-		newP.In(u, func(_ pattern.NodeID, b pattern.Bound) {
-			if k := effectiveBound(b, o); k > maxIn {
-				maxIn = k
-			}
-		})
-	})
+	wanted := labelInterest(newP)
+	maxIn := maxInBound(newP, o)
 	for len(frontier) > 0 {
 		y := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]

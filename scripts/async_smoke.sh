@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke test for the asynchronous pipelined substrate: run the -async
+# bench scenario at mini scale and assert the two things the pipeline
+# promises — correctness (the pipelined replay ends bit-for-bit equal
+# to the lock-step one, checked by the scenario's own differential
+# verify) and effect (queued batches actually adopt their overlapped
+# previews: overlapped_batches > 0 on a pipelined cell). Wall-clock
+# speedups are NOT asserted — on a single-core CI runner the JSON is
+# stamped "degraded_env": true and parity is the expected outcome.
+# Needs only go + grep + awk; CI runs it after the unit suite
+# (`make async-smoke` locally).
+set -euo pipefail
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+echo "async-smoke: running gpnm-bench -async -mini..."
+go run ./cmd/gpnm-bench -async -mini -json "$DIR/async.json" \
+  | tee "$DIR/out.txt"
+
+grep -q '\[results verified equal\]' "$DIR/out.txt" || {
+  echo "async-smoke: FAIL — differential verification line missing" >&2
+  exit 1
+}
+
+# Sum overlapped_batches across cells (lock-step cells report 0; any
+# pipelined cell adopting previews makes the sum positive).
+overlapped="$(grep -o '"overlapped_batches": *[0-9]*' "$DIR/async.json" \
+  | awk '{ s += $2 } END { print s+0 }')"
+[ "$overlapped" -gt 0 ] || {
+  echo "async-smoke: FAIL — no batch adopted its overlapped preview" >&2
+  exit 1
+}
+
+echo "async-smoke: OK — ${overlapped} batches overlapped, results verified equal"

@@ -108,6 +108,32 @@ func (s *Server) good4() {
 	f()
 }
 
+// The op-streamer's bounded exchange: a send-or-receive select loop
+// trading work over a backlogged channel. Run unlocked (as the staging
+// loop does), the peer can always make progress: silent.
+func (s *Server) goodExchange(v int) {
+	for {
+		select {
+		case s.ch <- v:
+			return
+		case got := <-s.ch:
+			_ = got
+		}
+	}
+}
+
+// The same exchange under a held mutex can deadlock against a consumer
+// that needs the lock to drain: diagnostic.
+func (s *Server) badExchange(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s\.mu`
+	case s.ch <- v:
+	case got := <-s.ch:
+		_ = got
+	}
+}
+
 // Annotated intentional hold: silent.
 func (s *Server) allowed() {
 	s.rw.RLock()

@@ -418,6 +418,27 @@ type HubOptions struct {
 	// ErrSubstrateLost (0 = the default of 1 per operation; negative =
 	// disable failover: every loss poisons immediately).
 	FailoverRetries int
+	// OpChunk sets the sharded substrate's op-stream chunk size: a
+	// batch's structural ops flush to the shard workers in epoch-fenced
+	// chunks of this many ops, in the background, while the hub is still
+	// staging the rest of the batch (0 = the engine default; negative =
+	// no streaming, one end-of-phase flush). Only meaningful with
+	// Shards.
+	OpChunk int
+	// Pipeline opts the hub into the asynchronous batch pipeline:
+	// ApplyBatch calls queue, and each queued batch's pre-state deletion
+	// balls are computed while its predecessor is still amending
+	// patterns — identical results (previews are validated against a
+	// write generation and discarded when stale), lower latency when
+	// batches arrive back-to-back. Callers still see the synchronous
+	// ApplyBatch signature; only the internal phase scheduling changes.
+	Pipeline bool
+	// HealthSweep, when positive, runs a background probe of the shard
+	// fleet at this interval while the hub is idle, repairing workers
+	// that died between batches off the critical path (the next batch
+	// meets an already-healthy fleet instead of paying for discovery and
+	// rebuild itself). Only meaningful with Shards. Close stops it.
+	HealthSweep time.Duration
 	// History bounds the per-pattern delta log retained for long-polling
 	// (default 256).
 	History int
@@ -448,7 +469,8 @@ type HubOptions struct {
 // would corrupt the substrate); ctx is consulted where the hub blocks —
 // WaitDeltas — matching the Service contract.
 type Hub struct {
-	inner *hub.Hub
+	inner     *hub.Hub
+	stopSweep func() // nil unless HubOptions.HealthSweep was set
 }
 
 var _ Service = (*Hub)(nil)
@@ -465,6 +487,8 @@ func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
 		Shards:          opts.Shards,
 		SpareShards:     opts.SpareShards,
 		FailoverRetries: opts.FailoverRetries,
+		OpChunk:         opts.OpChunk,
+		Pipeline:        opts.Pipeline,
 		History:         opts.History,
 		DisableIndex:    opts.DisableIndex,
 		Metrics:         opts.Metrics,
@@ -472,7 +496,11 @@ func NewHub(g *Graph, opts HubOptions) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hub{inner: inner}, nil
+	h := &Hub{inner: inner}
+	if opts.HealthSweep > 0 {
+		h.stopSweep = inner.StartHealthSweep(opts.HealthSweep)
+	}
+	return h, nil
 }
 
 // Register adds p as a standing query, answers its initial query, and
@@ -547,7 +575,12 @@ func (h *Hub) LastBatch() HubBatchStats { return h.inner.LastBatch() }
 // Close releases the hub's substrate shards (remote gpnm-shard clients
 // drop their caches and idle connections). Call once the hub is done
 // serving.
-func (h *Hub) Close() error { return h.inner.Close() }
+func (h *Hub) Close() error {
+	if h.stopSweep != nil {
+		h.stopSweep()
+	}
+	return h.inner.Close()
+}
 
 // Err reports the hub's sticky ErrSubstrateLost (nil while healthy) —
 // what a serving process checks after its drain to decide whether to
